@@ -1,0 +1,41 @@
+//! # pc-asm — textual assembly for processor-coupling programs
+//!
+//! A round-trippable text format for [`pc_isa::Program`]s, mirroring the
+//! original compiler's "assembly code" output file. Used for golden
+//! tests, schedule inspection and the examples.
+//!
+//! Format sketch:
+//!
+//! ```text
+//! .memory 162
+//! .symbol ma 0 81
+//! .segment main          ; entry segment first
+//! .regs 4 0 0 0 1 0
+//! row 0:
+//!   u0: add c0.r1, #4 -> c0.2
+//!   u12: bt c4.r0 @3
+//! row 1:
+//! ...
+//! ```
+//!
+//! ```
+//! use pc_asm::{print_program, parse_program};
+//! use pc_isa::Program;
+//!
+//! let mut p = Program::new();
+//! let mut seg = pc_isa::CodeSegment::new("main");
+//! seg.rows.push(pc_isa::InstWord::new());
+//! p.add_segment(seg);
+//! let text = print_program(&p);
+//! let back = parse_program(&text).unwrap();
+//! assert_eq!(p, back);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod parse;
+mod print;
+
+pub use parse::{parse_program, AsmError};
+pub use print::{print_operation, print_program, print_segment};

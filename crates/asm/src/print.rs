@@ -1,0 +1,199 @@
+//! Program → text.
+
+use pc_isa::{BranchOp, CodeSegment, MemOp, OpKind, Operand, Operation, Program, RegId};
+use std::fmt::Write;
+
+fn reg(r: &RegId) -> String {
+    format!("c{}.r{}", r.cluster.0, r.index)
+}
+
+fn operand(o: &Operand) -> String {
+    match o {
+        Operand::Reg(r) => reg(r),
+        Operand::ImmInt(i) => format!("#{i}"),
+        Operand::ImmFloat(f) => {
+            if f.is_nan() {
+                "#NaN".to_string()
+            } else if f.is_infinite() {
+                if *f > 0.0 {
+                    "#inf".to_string()
+                } else {
+                    "#-inf".to_string()
+                }
+            } else {
+                format!("#{f:?}")
+            }
+        }
+    }
+}
+
+/// Renders one operation in assembly syntax.
+pub fn print_operation(op: &Operation) -> String {
+    let mut s = op.kind.mnemonic().to_string();
+    match &op.kind {
+        OpKind::Branch(BranchOp::Jmp { target }) => {
+            write!(s, " @{target}").unwrap();
+        }
+        OpKind::Branch(BranchOp::Br { target, .. }) => {
+            write!(s, " {} @{target}", operand(&op.srcs[0])).unwrap();
+        }
+        OpKind::Branch(BranchOp::Halt) => {}
+        OpKind::Branch(BranchOp::Probe { id }) => {
+            write!(s, " !{id}").unwrap();
+        }
+        OpKind::Branch(BranchOp::Fork { segment, arg_dsts }) => {
+            write!(s, " seg{} (", segment.0).unwrap();
+            for (i, src) in op.srcs.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&operand(src));
+            }
+            s.push_str(" => ");
+            for (i, d) in arg_dsts.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&reg(d));
+            }
+            s.push(')');
+        }
+        OpKind::Int(_) | OpKind::Float(_) | OpKind::Mem(MemOp::Load(_) | MemOp::Store(_)) => {
+            for (i, src) in op.srcs.iter().enumerate() {
+                if i == 0 {
+                    s.push(' ');
+                } else {
+                    s.push_str(", ");
+                }
+                s.push_str(&operand(src));
+            }
+        }
+    }
+    if !op.dsts.is_empty() {
+        s.push_str(" ->");
+        for (i, d) in op.dsts.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push(' ');
+            s.push_str(&reg(d));
+        }
+    }
+    s
+}
+
+/// Renders one segment.
+pub fn print_segment(seg: &CodeSegment) -> String {
+    let mut s = String::new();
+    writeln!(s, ".segment {}", seg.name).unwrap();
+    write!(s, ".regs").unwrap();
+    for r in &seg.regs_per_cluster {
+        write!(s, " {r}").unwrap();
+    }
+    s.push('\n');
+    for (i, row) in seg.rows.iter().enumerate() {
+        writeln!(s, ".row ; {i}").unwrap();
+        for (fu, op) in row.slots() {
+            writeln!(s, "  u{}: {}", fu.0, print_operation(op)).unwrap();
+        }
+    }
+    s
+}
+
+/// Renders a whole program.
+pub fn print_program(p: &Program) -> String {
+    let mut s = String::new();
+    writeln!(s, ".memory {}", p.memory_size).unwrap();
+    writeln!(s, ".entry {}", p.entry.0).unwrap();
+    for sym in p.symbols.values() {
+        writeln!(s, ".symbol {} {} {}", sym.name, sym.addr, sym.len).unwrap();
+    }
+    for seg in &p.segments {
+        s.push_str(&print_segment(seg));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_isa::{ClusterId, FuId, InstWord, IntOp, LoadFlavor, SegmentId};
+
+    fn r(c: u16, i: u32) -> RegId {
+        RegId::new(ClusterId(c), i)
+    }
+
+    #[test]
+    fn prints_alu_ops() {
+        let op = Operation::int(
+            IntOp::Add,
+            vec![Operand::Reg(r(0, 1)), Operand::ImmInt(-4)],
+            r(1, 2),
+        );
+        assert_eq!(print_operation(&op), "add c0.r1, #-4 -> c1.r2");
+    }
+
+    #[test]
+    fn prints_float_immediates_roundtrippably() {
+        let op = Operation::float(
+            pc_isa::FloatOp::Fmul,
+            vec![Operand::ImmFloat(0.1), Operand::ImmFloat(f64::NAN)],
+            r(0, 0),
+        );
+        let s = print_operation(&op);
+        assert!(s.contains("#0.1"), "{s}");
+        assert!(s.contains("#NaN"), "{s}");
+    }
+
+    #[test]
+    fn prints_memory_and_branches() {
+        let ld = Operation::load(LoadFlavor::Consume, Operand::ImmInt(9), Operand::Reg(r(0, 0)), r(0, 1));
+        assert_eq!(print_operation(&ld), "ld.c #9, c0.r0 -> c0.r1");
+        let br = Operation::new(
+            OpKind::Branch(BranchOp::Br {
+                on_true: false,
+                target: 7,
+            }),
+            vec![Operand::Reg(r(4, 0))],
+            vec![],
+        );
+        assert_eq!(print_operation(&br), "bf c4.r0 @7");
+    }
+
+    #[test]
+    fn prints_fork_with_arg_destinations() {
+        let fork = Operation::new(
+            OpKind::Branch(BranchOp::Fork {
+                segment: SegmentId(3),
+                arg_dsts: vec![r(0, 0), r(2, 1)],
+            }),
+            vec![Operand::ImmInt(5), Operand::Reg(r(4, 2))],
+            vec![],
+        );
+        assert_eq!(
+            print_operation(&fork),
+            "fork seg3 (#5, c4.r2 => c0.r0, c2.r1)"
+        );
+    }
+
+    #[test]
+    fn prints_whole_program() {
+        let mut p = Program::new();
+        let mut seg = CodeSegment::new("main");
+        let mut row = InstWord::new();
+        row.push(
+            FuId(0),
+            Operation::int(IntOp::Mov, vec![Operand::ImmInt(1)], r(0, 0)),
+        );
+        seg.rows.push(row);
+        seg.regs_per_cluster = vec![1, 0];
+        p.add_segment(seg);
+        p.alloc_symbol("xs", 8);
+        let text = print_program(&p);
+        assert!(text.contains(".memory 8"));
+        assert!(text.contains(".symbol xs 0 8"));
+        assert!(text.contains(".segment main"));
+        assert!(text.contains(".regs 1 0"));
+        assert!(text.contains("u0: mov #1 -> c0.r0"));
+    }
+}

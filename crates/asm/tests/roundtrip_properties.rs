@@ -1,0 +1,128 @@
+//! Property test: randomly generated operations (not just compiled ones)
+//! round-trip through print and parse exactly.
+
+use pc_asm::{parse_program, print_program};
+use pc_isa::{
+    BranchOp, ClusterId, CodeSegment, FloatOp, FuId, InstWord, IntOp, LoadFlavor, OpKind,
+    Operand, Operation, Program, RegId, SegmentId, StoreFlavor,
+};
+use proptest::prelude::*;
+
+fn reg() -> impl Strategy<Value = RegId> {
+    (0u16..6, 0u32..64).prop_map(|(c, i)| RegId::new(ClusterId(c), i))
+}
+
+fn operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        reg().prop_map(Operand::Reg),
+        any::<i64>().prop_map(Operand::ImmInt),
+        // Finite floats (NaN handled in a dedicated unit test).
+        (-1e12f64..1e12).prop_map(Operand::ImmFloat),
+    ]
+}
+
+fn operation() -> impl Strategy<Value = Operation> {
+    let int_op = prop::sample::select(IntOp::all().to_vec()).prop_flat_map(|o| {
+        (
+            prop::collection::vec(operand(), o.arity()..=o.arity()),
+            prop::collection::vec(reg(), 1..=2),
+        )
+            .prop_map(move |(srcs, dsts)| Operation::new(OpKind::Int(o), srcs, dsts))
+    });
+    let float_op = prop::sample::select(FloatOp::all().to_vec()).prop_flat_map(|o| {
+        (
+            prop::collection::vec(operand(), o.arity()..=o.arity()),
+            prop::collection::vec(reg(), 1..=2),
+        )
+            .prop_map(move |(srcs, dsts)| Operation::new(OpKind::Float(o), srcs, dsts))
+    });
+    let load = (
+        prop::sample::select(vec![LoadFlavor::Plain, LoadFlavor::WaitFull, LoadFlavor::Consume]),
+        operand(),
+        operand(),
+        reg(),
+    )
+        .prop_map(|(fl, b, o, d)| Operation::load(fl, b, o, d));
+    let store = (
+        prop::sample::select(vec![
+            StoreFlavor::Plain,
+            StoreFlavor::WaitFull,
+            StoreFlavor::Produce,
+        ]),
+        operand(),
+        operand(),
+        operand(),
+    )
+        .prop_map(|(fl, b, o, v)| Operation::store(fl, b, o, v));
+    let branch = prop_oneof![
+        (0u32..100).prop_map(|t| Operation::new(
+            OpKind::Branch(BranchOp::Jmp { target: t }),
+            vec![],
+            vec![]
+        )),
+        (any::<bool>(), 0u32..100, reg()).prop_map(|(on_true, target, c)| Operation::new(
+            OpKind::Branch(BranchOp::Br { on_true, target }),
+            vec![Operand::Reg(c)],
+            vec![]
+        )),
+        Just(Operation::new(OpKind::Branch(BranchOp::Halt), vec![], vec![])),
+        (0u32..1000).prop_map(|id| Operation::new(
+            OpKind::Branch(BranchOp::Probe { id }),
+            vec![],
+            vec![]
+        )),
+        (
+            0u32..8,
+            prop::collection::vec(operand(), 0..4),
+            prop::collection::vec(reg(), 0..4)
+        )
+            .prop_map(|(seg, mut srcs, dsts)| {
+                srcs.truncate(dsts.len());
+                let srcs = if srcs.len() < dsts.len() {
+                    let mut s = srcs;
+                    while s.len() < dsts.len() {
+                        s.push(Operand::ImmInt(0));
+                    }
+                    s
+                } else {
+                    srcs
+                };
+                Operation::new(
+                    OpKind::Branch(BranchOp::Fork {
+                        segment: SegmentId(seg),
+                        arg_dsts: dsts,
+                    }),
+                    srcs,
+                    vec![],
+                )
+            }),
+    ];
+    prop_oneof![int_op, float_op, load, store, branch]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_programs_roundtrip(
+        ops in prop::collection::vec((0u16..14, operation()), 0..40),
+        regs in prop::collection::vec(0u32..64, 0..6),
+        mem in 0u64..10_000,
+    ) {
+        let mut p = Program::new();
+        let mut seg = CodeSegment::new("fuzz");
+        seg.regs_per_cluster = regs;
+        // One op per row keeps unit uniqueness trivially satisfied.
+        for (fu, op) in ops {
+            let mut row = InstWord::new();
+            row.push(FuId(fu), op);
+            seg.rows.push(row);
+        }
+        p.add_segment(seg);
+        p.memory_size = mem;
+        p.alloc_symbol("sym", 4);
+        let text = print_program(&p);
+        let back = parse_program(&text).unwrap();
+        prop_assert_eq!(p, back);
+    }
+}

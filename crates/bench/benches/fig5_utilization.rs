@@ -1,0 +1,33 @@
+//! Figure 5 — function-unit utilization per benchmark × mode.
+//!
+//! Prints the regenerated utilization table once, then times the
+//! utilization-extraction path (run + statistics) for the Coupled mode.
+
+use coupling::experiments::baseline;
+use coupling::{benchmarks, run_benchmark, MachineMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pc_isa::{MachineConfig, UnitClass};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let results = baseline::run().expect("baseline experiment");
+    println!("\n{}", results.fig5().render());
+
+    let mut g = c.benchmark_group("fig5_utilization");
+    g.sample_size(pc_bench::SAMPLES)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for b in [benchmarks::matrix(), benchmarks::fft(), benchmarks::model()] {
+        g.bench_function(format!("{}/Coupled", b.name), |bench| {
+            bench.iter(|| {
+                let out =
+                    run_benchmark(&b, MachineMode::Coupled, MachineConfig::baseline()).unwrap();
+                UnitClass::all().map(|cl| out.stats.utilization(cl))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 6 — restricted communication schemes.
+//!
+//! Prints the regenerated figure data (and the area model) once, then
+//! times the Matrix benchmark under each scheme.
+
+use coupling::experiments::comm;
+use coupling::{benchmarks, run_benchmark, MachineMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pc_isa::{InterconnectScheme, MachineConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let results = comm::run().expect("comm experiment");
+    println!("\n{}", results.render());
+    for s in InterconnectScheme::all() {
+        println!("mean overhead {}: {:.3}", s.label(), results.mean_overhead(s));
+    }
+
+    let mut g = c.benchmark_group("fig6_comm");
+    g.sample_size(pc_bench::SAMPLES)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    let b = benchmarks::matrix();
+    for scheme in InterconnectScheme::all() {
+        g.bench_function(format!("Matrix/{}", scheme.label()), |bench| {
+            let config = MachineConfig::baseline().with_interconnect(scheme);
+            bench.iter(|| run_benchmark(&b, MachineMode::Coupled, config.clone()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 7 — variable memory latency.
+//!
+//! Prints the regenerated series once, then times STS vs Coupled under
+//! the Mem2 model (10% miss, 20–100 cycle penalty).
+
+use coupling::experiments::latency;
+use coupling::{benchmarks, run_benchmark, MachineMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pc_isa::{MachineConfig, MemoryModel};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let results = latency::run().expect("latency experiment");
+    println!("\n{}", results.render());
+    for mode in latency::modes() {
+        println!(
+            "mean Mem2/Min slowdown {}: {:.2}",
+            mode.label(),
+            results.mean_mem2_slowdown(mode)
+        );
+    }
+
+    let mut g = c.benchmark_group("fig7_latency");
+    g.sample_size(pc_bench::SAMPLES)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    let b = benchmarks::matrix();
+    for (label, mode) in [("STS", MachineMode::Sts), ("Coupled", MachineMode::Coupled)] {
+        g.bench_function(format!("Matrix/{label}/Mem2"), |bench| {
+            let config = MachineConfig::baseline()
+                .with_memory(MemoryModel::mem2())
+                .with_seed(42);
+            bench.iter(|| run_benchmark(&b, mode, config.clone()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

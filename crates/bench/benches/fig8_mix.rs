@@ -1,0 +1,31 @@
+//! Figure 8 — number and mix of function units.
+//!
+//! Prints the regenerated 4×4 cycle-count surfaces once, then times the
+//! grid's corner configurations on the Matrix benchmark.
+
+use coupling::experiments::mix;
+use coupling::{benchmarks, run_benchmark, MachineMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pc_isa::MachineConfig;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let results = mix::run().expect("mix experiment");
+    println!("\n{}", results.render());
+
+    let mut g = c.benchmark_group("fig8_mix");
+    g.sample_size(pc_bench::SAMPLES)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    let b = benchmarks::matrix();
+    for (iu, fpu) in [(1, 1), (1, 4), (4, 1), (4, 4)] {
+        g.bench_function(format!("Matrix/{iu}IU x {fpu}FPU"), |bench| {
+            let config = MachineConfig::with_mix(iu, fpu);
+            bench.iter(|| run_benchmark(&b, MachineMode::Coupled, config.clone()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

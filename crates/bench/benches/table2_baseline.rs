@@ -1,0 +1,43 @@
+//! Table 2 / Figure 4 — baseline cycle counts for the five machine modes.
+//!
+//! Prints the regenerated table once, then times one full
+//! compile+simulate+validate pipeline per benchmark × mode.
+
+use coupling::experiments::baseline;
+use coupling::{benchmarks, run_benchmark, MachineMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pc_isa::MachineConfig;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let results = baseline::run().expect("baseline experiment");
+    println!("\n{}", results.table2().render());
+
+    let mut g = c.benchmark_group("table2_baseline");
+    g.sample_size(pc_bench::SAMPLES)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for b in benchmarks::all() {
+        // LUD takes ~100 ms/run; bench the fast benchmarks per mode and
+        // LUD once in Coupled mode.
+        let modes: &[MachineMode] = if b.name == "LUD" {
+            &[MachineMode::Coupled]
+        } else {
+            &[MachineMode::Seq, MachineMode::Sts, MachineMode::Coupled]
+        };
+        for &mode in modes {
+            if b.source(mode).is_none() {
+                continue;
+            }
+            g.bench_function(format!("{}/{}", b.name, mode.label()), |bench| {
+                bench.iter(|| {
+                    run_benchmark(&b, mode, MachineConfig::baseline()).expect("run")
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Table 3 — thread interference under fixed-priority arbitration.
+//!
+//! Prints the regenerated table once, then times the prioritized
+//! queue-sharing run against its STS comparison point.
+
+use coupling::benchmarks::{model_queue_coupled, model_queue_sts};
+use coupling::experiments::interference;
+use coupling::{run_benchmark, MachineMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pc_isa::{ArbitrationPolicy, MachineConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let results = interference::run().expect("interference experiment");
+    println!("\n{}", results.render());
+
+    let mut g = c.benchmark_group("table3_interference");
+    g.sample_size(pc_bench::SAMPLES)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    g.bench_function("coupled_priority_queue", |bench| {
+        let b = model_queue_coupled();
+        let config =
+            MachineConfig::baseline().with_arbitration(ArbitrationPolicy::FixedPriority);
+        bench.iter(|| run_benchmark(&b, MachineMode::Coupled, config.clone()).unwrap())
+    });
+    g.bench_function("sts_comparison", |bench| {
+        let b = model_queue_sts();
+        bench.iter(|| run_benchmark(&b, MachineMode::Sts, MachineConfig::baseline()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

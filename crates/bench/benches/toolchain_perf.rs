@@ -1,0 +1,57 @@
+//! Library performance (not a paper artifact): compiler throughput on the
+//! benchmark sources and simulator throughput in simulated cycles per
+//! second of host time.
+
+use coupling::{benchmarks, MachineMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pc_compiler::{compile, ScheduleMode};
+use pc_isa::MachineConfig;
+use pc_sim::Machine;
+use std::time::Duration;
+
+fn bench_compiler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compiler");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+    for b in benchmarks::all() {
+        g.bench_function(format!("compile/{}/threaded", b.name), |bench| {
+            bench.iter(|| {
+                compile(&b.threaded_src, &MachineConfig::baseline(), ScheduleMode::Unrestricted)
+                    .unwrap()
+            })
+        });
+    }
+    // The ideal Matrix source is the stress test: one ~2000-op block.
+    let m = benchmarks::matrix();
+    g.bench_function("compile/Matrix/ideal", |bench| {
+        let src = m.ideal_src.as_ref().unwrap();
+        bench.iter(|| {
+            compile(src, &MachineConfig::baseline(), ScheduleMode::Unrestricted).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    // Pre-compile once; measure pure simulation (includes Machine setup).
+    let b = benchmarks::lud();
+    let config = MachineConfig::baseline();
+    let compiled = compile(
+        b.source(MachineMode::Coupled).unwrap(),
+        &config,
+        ScheduleMode::Unrestricted,
+    )
+    .unwrap();
+    g.bench_function("simulate/LUD/coupled (~64k cycles)", |bench| {
+        bench.iter(|| {
+            let mut m = Machine::new(config.clone(), compiled.program.clone()).unwrap();
+            (b.setup)(&mut m).unwrap();
+            m.run(20_000_000).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compiler, bench_simulator);
+criterion_main!(benches);

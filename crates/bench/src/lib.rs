@@ -1,0 +1,14 @@
+//! # pc-bench — the paper's evaluation as Criterion benches
+//!
+//! One bench target per table/figure. Each prints the regenerated
+//! table/series once, then times representative runs so regressions in
+//! simulator or compiler performance are visible:
+//!
+//! ```sh
+//! cargo bench -p pc-bench --bench table2_baseline
+//! cargo bench -p pc-bench --bench fig6_comm
+//! ```
+
+/// Criterion sample count used by all benches (whole-program simulations
+/// are long; statistical precision beyond ~10 samples buys nothing).
+pub const SAMPLES: usize = 10;

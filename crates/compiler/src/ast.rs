@@ -1,0 +1,328 @@
+//! Abstract syntax: the language with "simplified C semantics and Lisp
+//! syntax" (paper §3).
+//!
+//! By the time a [`Module`] exists, procedure calls have been macro-expanded
+//! away ([`crate::front`]), constants substituted, and thread partitioning
+//! is explicit as `fork` / `forall` statements.
+
+use pc_isa::{LoadFlavor, StoreFlavor};
+
+/// A scalar type. Arrays are global and element-typed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+}
+
+/// Binary operators (type-resolved during lowering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation (int or float).
+    Neg,
+    /// Logical/bitwise not (int).
+    Not,
+    /// Convert int to float.
+    ToFloat,
+    /// Convert float to int (truncating).
+    ToInt,
+    /// Float absolute value.
+    Fabs,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Variable reference.
+    Var(String),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Array element load from a global: `(aref a i)` and its
+    /// synchronizing variants.
+    ARef {
+        /// Global symbol name.
+        sym: String,
+        /// Element index.
+        idx: Box<Expr>,
+        /// Full/empty-bit flavor.
+        flavor: LoadFlavor,
+    },
+    /// Base address of a global as an integer: `(addr-of a)`.
+    AddrOf(String),
+}
+
+/// Loop-unrolling directive on `for`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Unroll {
+    /// Leave the loop rolled (default; the paper's compiler never unrolls
+    /// automatically — unrolling is "by hand" via this directive).
+    #[default]
+    None,
+    /// Fully expand the loop body (requires constant bounds).
+    Full,
+    /// Expand the body this many times per iteration (requires constant
+    /// bounds whose trip count the factor divides).
+    By(u32),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Scoped binding: `(let ((x e) ...) body...)`.
+    Let {
+        /// The bindings, evaluated in order.
+        bindings: Vec<(String, Expr)>,
+        /// Statements in the binding's scope.
+        body: Vec<Stmt>,
+    },
+    /// Assignment to a variable.
+    Set {
+        /// Variable name.
+        name: String,
+        /// New value.
+        value: Expr,
+    },
+    /// Array element store: `(aset a i v)` and synchronizing variants.
+    ASet {
+        /// Global symbol name.
+        sym: String,
+        /// Element index.
+        idx: Expr,
+        /// Stored value.
+        value: Expr,
+        /// Full/empty-bit flavor.
+        flavor: StoreFlavor,
+    },
+    /// Conditional.
+    If {
+        /// Condition (integer; nonzero = true).
+        cond: Expr,
+        /// Then branch.
+        then_: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        else_: Vec<Stmt>,
+    },
+    /// While loop.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// Counted loop: `(for (i start end) body...)`, iterating
+    /// `start <= i < end`.
+    For {
+        /// Induction variable.
+        var: String,
+        /// Inclusive start.
+        start: Expr,
+        /// Exclusive end.
+        end: Expr,
+        /// Unrolling directive.
+        unroll: Unroll,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// Spawn a thread running `body` concurrently. Free variables are
+    /// captured by value.
+    Fork {
+        /// Thread body.
+        body: Vec<Stmt>,
+    },
+    /// Spawn one thread per iteration (`start <= i < end`), `i` passed to
+    /// each.
+    Forall {
+        /// Iteration variable (a parameter of each spawned thread).
+        var: String,
+        /// Inclusive start.
+        start: Expr,
+        /// Exclusive end.
+        end: Expr,
+        /// Thread body.
+        body: Vec<Stmt>,
+    },
+    /// Statistics marker.
+    Probe(u32),
+    /// Expression evaluated for effect (e.g. a bare `(consume a i)`).
+    Expr(Expr),
+}
+
+/// A global data declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    /// Symbol name.
+    pub name: String,
+    /// Element type.
+    pub elem: Ty,
+    /// Length in words (1 for scalars).
+    pub len: u64,
+}
+
+/// A whole program after front-end expansion: globals plus the inlined
+/// body of `main`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Module {
+    /// Global declarations in source order.
+    pub globals: Vec<GlobalDecl>,
+    /// The entry thread's body.
+    pub main: Vec<Stmt>,
+}
+
+/// Collects the free variables of a statement list (used to capture `fork`
+/// arguments by value). `bound` carries enclosing bindings.
+pub fn free_vars(stmts: &[Stmt], bound: &mut Vec<String>, out: &mut Vec<String>) {
+    for s in stmts {
+        free_vars_stmt(s, bound, out);
+    }
+}
+
+fn note(name: &str, bound: &[String], out: &mut Vec<String>) {
+    if !bound.iter().any(|b| b == name) && !out.iter().any(|o| o == name) {
+        out.push(name.to_string());
+    }
+}
+
+fn free_vars_stmt(s: &Stmt, bound: &mut Vec<String>, out: &mut Vec<String>) {
+    match s {
+        Stmt::Let { bindings, body } => {
+            let depth = bound.len();
+            for (name, init) in bindings {
+                free_vars_expr(init, bound, out);
+                bound.push(name.clone());
+            }
+            free_vars(body, bound, out);
+            bound.truncate(depth);
+        }
+        Stmt::Set { name, value } => {
+            free_vars_expr(value, bound, out);
+            note(name, bound, out);
+        }
+        Stmt::ASet { idx, value, .. } => {
+            free_vars_expr(idx, bound, out);
+            free_vars_expr(value, bound, out);
+        }
+        Stmt::If { cond, then_, else_ } => {
+            free_vars_expr(cond, bound, out);
+            free_vars(then_, bound, out);
+            free_vars(else_, bound, out);
+        }
+        Stmt::While { cond, body } => {
+            free_vars_expr(cond, bound, out);
+            free_vars(body, bound, out);
+        }
+        Stmt::For {
+            var,
+            start,
+            end,
+            body,
+            ..
+        }
+        | Stmt::Forall {
+            var,
+            start,
+            end,
+            body,
+        } => {
+            free_vars_expr(start, bound, out);
+            free_vars_expr(end, bound, out);
+            bound.push(var.clone());
+            free_vars(body, bound, out);
+            bound.pop();
+        }
+        Stmt::Fork { body } => free_vars(body, bound, out),
+        Stmt::Probe(_) => {}
+        Stmt::Expr(e) => free_vars_expr(e, bound, out),
+    }
+}
+
+fn free_vars_expr(e: &Expr, bound: &[String], out: &mut Vec<String>) {
+    match e {
+        Expr::Int(_) | Expr::Float(_) | Expr::AddrOf(_) => {}
+        Expr::Var(n) => note(n, bound, out),
+        Expr::Bin(_, a, b) => {
+            free_vars_expr(a, bound, out);
+            free_vars_expr(b, bound, out);
+        }
+        Expr::Un(_, a) => free_vars_expr(a, bound, out),
+        Expr::ARef { idx, .. } => free_vars_expr(idx, bound, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_vars_sees_through_let() {
+        // let x = y in { z = x + w }
+        let stmts = vec![Stmt::Let {
+            bindings: vec![("x".into(), Expr::Var("y".into()))],
+            body: vec![Stmt::Set {
+                name: "z".into(),
+                value: Expr::Bin(
+                    BinOp::Add,
+                    Box::new(Expr::Var("x".into())),
+                    Box::new(Expr::Var("w".into())),
+                ),
+            }],
+        }];
+        let mut out = Vec::new();
+        free_vars(&stmts, &mut Vec::new(), &mut out);
+        assert_eq!(out, vec!["y".to_string(), "w".into(), "z".into()]);
+    }
+
+    #[test]
+    fn loop_variable_is_bound() {
+        let stmts = vec![Stmt::For {
+            var: "i".into(),
+            start: Expr::Int(0),
+            end: Expr::Var("n".into()),
+            unroll: Unroll::None,
+            body: vec![Stmt::Expr(Expr::Var("i".into()))],
+        }];
+        let mut out = Vec::new();
+        free_vars(&stmts, &mut Vec::new(), &mut out);
+        assert_eq!(out, vec!["n".to_string()]);
+    }
+
+    #[test]
+    fn aref_index_contributes() {
+        let stmts = vec![Stmt::Expr(Expr::ARef {
+            sym: "a".into(),
+            idx: Box::new(Expr::Var("k".into())),
+            flavor: LoadFlavor::Plain,
+        })];
+        let mut out = Vec::new();
+        free_vars(&stmts, &mut Vec::new(), &mut out);
+        assert_eq!(out, vec!["k".to_string()]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Compiler diagnostics.
+
+use std::fmt;
+
+/// Result alias for compiler passes.
+pub type Result<T> = std::result::Result<T, CompileError>;
+
+/// A compile-time error with an approximate source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line, when known.
+    pub line: Option<u32>,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl CompileError {
+    /// An error at a known line.
+    pub fn at(line: u32, msg: impl Into<String>) -> Self {
+        CompileError {
+            line: Some(line),
+            msg: msg.into(),
+        }
+    }
+
+    /// An error with no location.
+    pub fn new(msg: impl Into<String>) -> Self {
+        CompileError {
+            line: None,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(l) => write!(f, "line {l}: {}", self.msg),
+            None => write!(f, "{}", self.msg),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_line() {
+        assert_eq!(CompileError::at(3, "bad").to_string(), "line 3: bad");
+        assert_eq!(CompileError::new("bad").to_string(), "bad");
+    }
+}

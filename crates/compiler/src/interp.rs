@@ -1,0 +1,475 @@
+//! A direct AST interpreter for the source language — an independent
+//! execution path used for differential testing against the full
+//! compile-and-simulate pipeline.
+//!
+//! Concurrency model: `fork` and `forall` bodies run **eagerly to
+//! completion** at the spawn point with a by-value snapshot of the
+//! captured environment. This matches the final memory state of any
+//! program whose threads only *publish* results the spawner later
+//! consumes (all of the paper's benchmarks). A program whose spawned
+//! thread must block on something produced *after* the spawn cannot be
+//! interpreted sequentially; such programs fail with
+//! [`InterpError::WouldBlock`] instead of producing wrong answers.
+//!
+//! Arithmetic delegates to [`pc_isa::op`] — the same semantics the
+//! simulator and the constant folder use.
+
+use crate::ast::{Expr, Module, Stmt, Ty, UnOp as AUn};
+use crate::ir::{BinOp, UnOp};
+use crate::lower; // for the operator mapping only
+use pc_isa::{op, IsaError, LoadFlavor, StoreFlavor, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Interpreter failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterpError {
+    /// A synchronizing reference's precondition is unsatisfied and, under
+    /// eager sequential execution, can never become satisfied.
+    WouldBlock {
+        /// The blocked address.
+        addr: u64,
+    },
+    /// Arithmetic or type error (shared semantics with the simulator).
+    Isa(IsaError),
+    /// Unknown variable or global (should have been caught earlier).
+    Unbound(String),
+    /// The program ran too long (runaway loop guard).
+    StepLimit,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::WouldBlock { addr } => {
+                write!(f, "sequential interpretation blocked at address {addr}")
+            }
+            InterpError::Isa(e) => write!(f, "{e}"),
+            InterpError::Unbound(n) => write!(f, "unbound name '{n}'"),
+            InterpError::StepLimit => write!(f, "step limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+impl From<IsaError> for InterpError {
+    fn from(e: IsaError) -> Self {
+        InterpError::Isa(e)
+    }
+}
+
+/// Interpreter state: word memory with full/empty bits, like the
+/// simulated machine's.
+#[derive(Debug, Clone)]
+pub struct Interp {
+    memory: Vec<Value>,
+    full: Vec<bool>,
+    symtab: HashMap<String, (u64, u64, Ty)>,
+    steps: u64,
+    limit: u64,
+}
+
+impl Interp {
+    /// Builds an interpreter for `module`, allocating globals at the same
+    /// addresses the compiler would.
+    pub fn new(module: &Module) -> Self {
+        let mut symtab = HashMap::new();
+        let mut addr = 0u64;
+        for g in &module.globals {
+            symtab.insert(g.name.clone(), (addr, g.len, g.elem));
+            addr += g.len;
+        }
+        Interp {
+            memory: vec![Value::Int(0); addr as usize],
+            full: vec![true; addr as usize],
+            symtab,
+            steps: 0,
+            limit: 100_000_000,
+        }
+    }
+
+    /// Writes values into a global, marking the words full.
+    ///
+    /// # Panics
+    /// Panics if the symbol is unknown or the values overflow it.
+    pub fn write_global(&mut self, name: &str, values: &[Value]) {
+        let (addr, len, _) = self.symtab[name];
+        assert!(values.len() as u64 <= len);
+        for (i, v) in values.iter().enumerate() {
+            self.memory[addr as usize + i] = *v;
+            self.full[addr as usize + i] = true;
+        }
+    }
+
+    /// Marks a whole global empty (synchronization cells).
+    ///
+    /// # Panics
+    /// Panics if the symbol is unknown.
+    pub fn set_global_empty(&mut self, name: &str) {
+        let (addr, len, _) = self.symtab[name];
+        for a in addr..addr + len {
+            self.full[a as usize] = false;
+        }
+    }
+
+    /// Reads a global's full extent.
+    ///
+    /// # Panics
+    /// Panics if the symbol is unknown.
+    pub fn read_global(&self, name: &str) -> Vec<Value> {
+        let (addr, len, _) = self.symtab[name];
+        self.memory[addr as usize..(addr + len) as usize].to_vec()
+    }
+
+    /// Raw access: `(value, full)` at an address.
+    pub fn word(&self, addr: u64) -> (Value, bool) {
+        (self.memory[addr as usize], self.full[addr as usize])
+    }
+
+    /// Installs raw memory contents (e.g. a snapshot of a simulator's
+    /// post-setup memory).
+    pub fn load_image(&mut self, image: &[(Value, bool)]) {
+        self.memory = image.iter().map(|&(v, _)| v).collect();
+        self.full = image.iter().map(|&(_, f)| f).collect();
+    }
+
+    /// Interprets the module's `main`.
+    ///
+    /// # Errors
+    /// See [`InterpError`].
+    pub fn run(&mut self, module: &Module) -> Result<(), InterpError> {
+        let mut env: HashMap<String, Value> = HashMap::new();
+        self.stmts(&module.main, &mut env)
+    }
+
+    fn tick(&mut self) -> Result<(), InterpError> {
+        self.steps += 1;
+        if self.steps > self.limit {
+            Err(InterpError::StepLimit)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn stmts(
+        &mut self,
+        body: &[Stmt],
+        env: &mut HashMap<String, Value>,
+    ) -> Result<(), InterpError> {
+        for s in body {
+            self.stmt(s, env)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt, env: &mut HashMap<String, Value>) -> Result<(), InterpError> {
+        self.tick()?;
+        match s {
+            Stmt::Let { bindings, body } => {
+                for (name, init) in bindings {
+                    let v = self.expr(init, env)?;
+                    env.insert(name.clone(), v);
+                }
+                self.stmts(body, env)
+            }
+            Stmt::Set { name, value } => {
+                let v = self.expr(value, env)?;
+                if env.contains_key(name) {
+                    env.insert(name.clone(), v);
+                    Ok(())
+                } else if let Some(&(addr, _, _)) = self.symtab.get(name) {
+                    self.store(addr, StoreFlavor::Plain, v)
+                } else {
+                    Err(InterpError::Unbound(name.clone()))
+                }
+            }
+            Stmt::ASet {
+                sym,
+                idx,
+                value,
+                flavor,
+            } => {
+                let base = self.base(sym)?;
+                let i = self.expr(idx, env)?.as_int()?;
+                let v = self.expr(value, env)?;
+                self.store(base.wrapping_add(i as u64), *flavor, v)
+            }
+            Stmt::If { cond, then_, else_ } => {
+                if self.expr(cond, env)?.as_cond()? {
+                    self.stmts(then_, env)
+                } else {
+                    self.stmts(else_, env)
+                }
+            }
+            Stmt::While { cond, body } => {
+                while self.expr(cond, env)?.as_cond()? {
+                    self.tick()?;
+                    self.stmts(body, env)?;
+                }
+                Ok(())
+            }
+            Stmt::For {
+                var,
+                start,
+                end,
+                body,
+                ..
+            } => {
+                let s0 = self.expr(start, env)?.as_int()?;
+                let e0 = self.expr(end, env)?.as_int()?;
+                for i in s0..e0 {
+                    self.tick()?;
+                    env.insert(var.clone(), Value::Int(i));
+                    self.stmts(body, env)?;
+                }
+                Ok(())
+            }
+            Stmt::Fork { body } => {
+                // Eager, by-value: the child sees a snapshot.
+                let mut child_env = env.clone();
+                self.stmts(body, &mut child_env)
+            }
+            Stmt::Forall {
+                var,
+                start,
+                end,
+                body,
+            } => {
+                let s0 = self.expr(start, env)?.as_int()?;
+                let e0 = self.expr(end, env)?.as_int()?;
+                for i in s0..e0 {
+                    self.tick()?;
+                    let mut child_env = env.clone();
+                    child_env.insert(var.clone(), Value::Int(i));
+                    self.stmts(body, &mut child_env)?;
+                }
+                Ok(())
+            }
+            Stmt::Probe(_) => Ok(()),
+            Stmt::Expr(e) => {
+                let _ = self.expr(e, env)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn base(&self, sym: &str) -> Result<u64, InterpError> {
+        self.symtab
+            .get(sym)
+            .map(|&(a, _, _)| a)
+            .ok_or_else(|| InterpError::Unbound(sym.to_string()))
+    }
+
+    fn load(&mut self, addr: u64, flavor: LoadFlavor) -> Result<Value, InterpError> {
+        let i = addr as usize;
+        if i >= self.memory.len() {
+            self.memory.resize(i + 1, Value::Int(0));
+            self.full.resize(i + 1, true);
+        }
+        match flavor {
+            LoadFlavor::Plain => {}
+            LoadFlavor::WaitFull => {
+                if !self.full[i] {
+                    return Err(InterpError::WouldBlock { addr });
+                }
+            }
+            LoadFlavor::Consume => {
+                if !self.full[i] {
+                    return Err(InterpError::WouldBlock { addr });
+                }
+                self.full[i] = false;
+            }
+        }
+        Ok(self.memory[i])
+    }
+
+    fn store(&mut self, addr: u64, flavor: StoreFlavor, v: Value) -> Result<(), InterpError> {
+        let i = addr as usize;
+        if i >= self.memory.len() {
+            self.memory.resize(i + 1, Value::Int(0));
+            self.full.resize(i + 1, true);
+        }
+        match flavor {
+            StoreFlavor::Plain => {
+                self.memory[i] = v;
+                self.full[i] = true;
+            }
+            StoreFlavor::WaitFull => {
+                if !self.full[i] {
+                    return Err(InterpError::WouldBlock { addr });
+                }
+                self.memory[i] = v;
+            }
+            StoreFlavor::Produce => {
+                if self.full[i] {
+                    return Err(InterpError::WouldBlock { addr });
+                }
+                self.memory[i] = v;
+                self.full[i] = true;
+            }
+        }
+        Ok(())
+    }
+
+    fn expr(&mut self, e: &Expr, env: &mut HashMap<String, Value>) -> Result<Value, InterpError> {
+        Ok(match e {
+            Expr::Int(i) => Value::Int(*i),
+            Expr::Float(f) => Value::Float(*f),
+            Expr::Var(n) => {
+                if let Some(v) = env.get(n) {
+                    *v
+                } else if let Some(&(addr, len, _)) = self.symtab.get(n) {
+                    if len != 1 {
+                        return Err(InterpError::Unbound(format!("{n} (array as scalar)")));
+                    }
+                    self.load(addr, LoadFlavor::Plain)?
+                } else {
+                    return Err(InterpError::Unbound(n.clone()));
+                }
+            }
+            Expr::Bin(op_, a, b) => {
+                let av = self.expr(a, env)?;
+                let bv = self.expr(b, env)?;
+                let ty = if av.is_float() { Ty::Float } else { Ty::Int };
+                let ir = lower::map_bin(*op_, ty).map_err(|_| {
+                    InterpError::Isa(IsaError::TypeMismatch {
+                        expected: "matching operand types",
+                        found: "mismatch",
+                    })
+                })?;
+                eval_ir_bin(ir, av, bv)?
+            }
+            Expr::Un(op_, a) => {
+                let av = self.expr(a, env)?;
+                let un = match (op_, av.is_float()) {
+                    (AUn::Neg, false) => UnOp::Neg,
+                    (AUn::Neg, true) => UnOp::Fneg,
+                    (AUn::Not, _) => UnOp::Not,
+                    (AUn::ToFloat, false) => UnOp::Itof,
+                    (AUn::ToFloat, true) => UnOp::Mov,
+                    (AUn::ToInt, true) => UnOp::Ftoi,
+                    (AUn::ToInt, false) => UnOp::Mov,
+                    (AUn::Fabs, _) => UnOp::Fabs,
+                };
+                eval_ir_un(un, av)?
+            }
+            Expr::ARef { sym, idx, flavor } => {
+                let base = self.base(sym)?;
+                let i = self.expr(idx, env)?.as_int()?;
+                self.load(base.wrapping_add(i as u64), *flavor)?
+            }
+            Expr::AddrOf(sym) => Value::Int(self.base(sym)? as i64),
+        })
+    }
+}
+
+fn eval_ir_bin(ir: BinOp, a: Value, b: Value) -> Result<Value, InterpError> {
+    Ok(match ir.isa() {
+        crate::ir::IsaOp::I(o) => op::eval_int(o, &[a, b])?,
+        crate::ir::IsaOp::F(o) => op::eval_float(o, &[a, b])?,
+    })
+}
+
+fn eval_ir_un(ir: UnOp, a: Value) -> Result<Value, InterpError> {
+    Ok(match ir.isa() {
+        crate::ir::IsaOp::I(o) => op::eval_int(o, &[a])?,
+        crate::ir::IsaOp::F(o) => op::eval_float(o, &[a])?,
+    })
+}
+
+/// Convenience: expand, interpret, and return the interpreter.
+///
+/// # Errors
+/// Front-end or interpretation failures (boxed for uniformity).
+pub fn interpret(src: &str) -> Result<Interp, Box<dyn std::error::Error>> {
+    let module = crate::front::expand(src)?;
+    let mut it = Interp::new(&module);
+    it.run(&module)?;
+    Ok(it)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::front::expand;
+
+    fn run(src: &str) -> Interp {
+        interpret(src).unwrap()
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let it = run("(global out (array float 2))
+                      (defun main () (aset out 0 (+ 1.5 2.0)) (aset out 1 (* 3.0 -2.0)))");
+        assert_eq!(it.read_global("out"), vec![Value::Float(3.5), Value::Float(-6.0)]);
+    }
+
+    #[test]
+    fn loops_and_variables() {
+        let it = run("(global out (array int 1))
+                      (defun main ()
+                        (let ((s 0))
+                          (for (i 0 10) (set s (+ s i)))
+                          (set out s)))");
+        assert_eq!(it.read_global("out"), vec![Value::Int(45)]);
+    }
+
+    #[test]
+    fn forks_run_eagerly_by_value() {
+        let it = run("(global out (array int 2))
+                      (defun main ()
+                        (let ((x 1))
+                          (fork (aset out 0 x))
+                          (set x 2)
+                          (aset out 1 x)))");
+        assert_eq!(it.read_global("out"), vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn produce_consume_in_program_order() {
+        let module = expand(
+            "(global cellq (array float 1)) (global out (array float 1))
+             (defun main ()
+               (fork (produce cellq 0 6.5))
+               (aset out 0 (consume cellq 0)))",
+        )
+        .unwrap();
+        let mut it = Interp::new(&module);
+        it.set_global_empty("cellq"); // produce needs an empty cell
+        it.run(&module).unwrap();
+        assert_eq!(it.read_global("out"), vec![Value::Float(6.5)]);
+    }
+
+    #[test]
+    fn would_block_is_reported() {
+        let module = expand(
+            "(global cellq (array int 1)) (global out (array int 1))
+             (defun main () (aset out 0 (consume cellq 0)))",
+        )
+        .unwrap();
+        let mut it = Interp::new(&module);
+        it.set_global_empty("cellq");
+        let err = it.run(&module).unwrap_err();
+        assert!(matches!(err, InterpError::WouldBlock { .. }), "{err}");
+    }
+
+    #[test]
+    fn runaway_loops_hit_the_step_limit() {
+        let module = expand("(defun main () (while 1 (probe 0)))").unwrap();
+        let mut it = Interp::new(&module);
+        it.limit = 10_000;
+        assert_eq!(it.run(&module).unwrap_err(), InterpError::StepLimit);
+    }
+
+    #[test]
+    fn matches_shared_arithmetic_semantics() {
+        let it = run("(global out (array int 2))
+                      (defun main ()
+                        (aset out 0 (shr -16 2))
+                        (aset out 1 (int 3.9)))");
+        let want0 = op::eval_int(pc_isa::IntOp::Shr, &[Value::Int(-16), Value::Int(2)]).unwrap();
+        assert_eq!(it.read_global("out")[0], want0);
+        assert_eq!(it.read_global("out")[1], Value::Int(3));
+    }
+}

@@ -1,0 +1,631 @@
+//! Three-address intermediate representation.
+//!
+//! Each thread body (the entry thread, plus one function per `fork` /
+//! `forall` variant) becomes a [`Func`]: a CFG of basic blocks over typed
+//! virtual registers. Values that live across blocks (named variables,
+//! parameters, loop counters) are *variables* and get fixed home registers
+//! at scheduling time; all other virtual registers are block-local
+//! temporaries by construction.
+
+use crate::ast::Ty;
+use pc_isa::{LoadFlavor, StoreFlavor};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A virtual register (a *value*, later mapped to one concrete register
+/// per cluster it lives in).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VReg(pub u32);
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An IR operand: a virtual register or a constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Val {
+    /// Virtual register.
+    R(VReg),
+    /// Integer constant.
+    CI(i64),
+    /// Float constant.
+    CF(f64),
+}
+
+impl Val {
+    /// The register, if this is one.
+    pub fn reg(&self) -> Option<VReg> {
+        match self {
+            Val::R(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// True for constants.
+    pub fn is_const(&self) -> bool {
+        !matches!(self, Val::R(_))
+    }
+
+    /// The integer constant, if that's what this is.
+    pub fn as_ci(&self) -> Option<i64> {
+        match self {
+            Val::CI(i) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::R(r) => write!(f, "{r}"),
+            Val::CI(i) => write!(f, "{i}"),
+            Val::CF(x) => write!(f, "{x:?}"),
+        }
+    }
+}
+
+/// Typed unary IR operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Neg,
+    Not,
+    Fneg,
+    Fabs,
+    Itof,
+    Ftoi,
+    /// Copy (used by copy propagation and the scheduler's moves).
+    Mov,
+}
+
+/// Typed binary IR operators (`F*` are float; the rest integer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Slt,
+    Sle,
+    Seq,
+    Sne,
+    Sgt,
+    Sge,
+    Fadd,
+    Fsub,
+    Fmul,
+    Fdiv,
+    Fslt,
+    Fsle,
+    Fseq,
+    Fsne,
+    Fsgt,
+    Fsge,
+}
+
+impl BinOp {
+    /// True for float-unit operators.
+    pub fn is_float(self) -> bool {
+        matches!(
+            self,
+            BinOp::Fadd
+                | BinOp::Fsub
+                | BinOp::Fmul
+                | BinOp::Fdiv
+                | BinOp::Fslt
+                | BinOp::Fsle
+                | BinOp::Fseq
+                | BinOp::Fsne
+                | BinOp::Fsgt
+                | BinOp::Fsge
+        )
+    }
+
+    /// Result type of the operator.
+    pub fn result_ty(self) -> Ty {
+        match self {
+            BinOp::Fadd | BinOp::Fsub | BinOp::Fmul | BinOp::Fdiv => Ty::Float,
+            _ => Ty::Int,
+        }
+    }
+
+    /// True if the operator is commutative (used by CSE canonicalization).
+    pub fn commutes(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add
+                | BinOp::Mul
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::Xor
+                | BinOp::Seq
+                | BinOp::Sne
+                | BinOp::Fadd
+                | BinOp::Fmul
+                | BinOp::Fseq
+                | BinOp::Fsne
+        )
+    }
+}
+
+/// An IR operator resolved to its ISA opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsaOp {
+    /// Executes on an integer unit.
+    I(pc_isa::IntOp),
+    /// Executes on a floating-point unit.
+    F(pc_isa::FloatOp),
+}
+
+impl IsaOp {
+    /// The unit class executing this opcode.
+    pub fn unit_class(self) -> pc_isa::UnitClass {
+        match self {
+            IsaOp::I(_) => pc_isa::UnitClass::Integer,
+            IsaOp::F(_) => pc_isa::UnitClass::Float,
+        }
+    }
+}
+
+impl BinOp {
+    /// Maps the IR operator to its ISA opcode.
+    pub fn isa(self) -> IsaOp {
+        use pc_isa::{FloatOp as F, IntOp as I};
+        match self {
+            BinOp::Add => IsaOp::I(I::Add),
+            BinOp::Sub => IsaOp::I(I::Sub),
+            BinOp::Mul => IsaOp::I(I::Mul),
+            BinOp::Div => IsaOp::I(I::Div),
+            BinOp::Rem => IsaOp::I(I::Rem),
+            BinOp::And => IsaOp::I(I::And),
+            BinOp::Or => IsaOp::I(I::Or),
+            BinOp::Xor => IsaOp::I(I::Xor),
+            BinOp::Shl => IsaOp::I(I::Shl),
+            BinOp::Shr => IsaOp::I(I::Shr),
+            BinOp::Slt => IsaOp::I(I::Slt),
+            BinOp::Sle => IsaOp::I(I::Sle),
+            BinOp::Seq => IsaOp::I(I::Seq),
+            BinOp::Sne => IsaOp::I(I::Sne),
+            BinOp::Sgt => IsaOp::I(I::Sgt),
+            BinOp::Sge => IsaOp::I(I::Sge),
+            BinOp::Fadd => IsaOp::F(F::Fadd),
+            BinOp::Fsub => IsaOp::F(F::Fsub),
+            BinOp::Fmul => IsaOp::F(F::Fmul),
+            BinOp::Fdiv => IsaOp::F(F::Fdiv),
+            BinOp::Fslt => IsaOp::F(F::Fslt),
+            BinOp::Fsle => IsaOp::F(F::Fsle),
+            BinOp::Fseq => IsaOp::F(F::Fseq),
+            BinOp::Fsne => IsaOp::F(F::Fsne),
+            BinOp::Fsgt => IsaOp::F(F::Fsgt),
+            BinOp::Fsge => IsaOp::F(F::Fsge),
+        }
+    }
+}
+
+impl UnOp {
+    /// Maps the IR operator to its ISA opcode. `Mov` copies either type
+    /// and executes on an integer unit.
+    pub fn isa(self) -> IsaOp {
+        use pc_isa::{FloatOp as F, IntOp as I};
+        match self {
+            UnOp::Neg => IsaOp::I(I::Neg),
+            UnOp::Not => IsaOp::I(I::Not),
+            UnOp::Mov => IsaOp::I(I::Mov),
+            UnOp::Fneg => IsaOp::F(F::Fneg),
+            UnOp::Fabs => IsaOp::F(F::Fabs),
+            UnOp::Itof => IsaOp::F(F::Itof),
+            UnOp::Ftoi => IsaOp::F(F::Ftoi),
+        }
+    }
+}
+
+/// IR instruction payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstKind {
+    /// Unary operation.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        a: Val,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        a: Val,
+        /// Right operand.
+        b: Val,
+    },
+    /// Memory load: `dst <- mem[base + off]`.
+    Load {
+        /// Full/empty flavor.
+        flavor: LoadFlavor,
+        /// Base address.
+        base: Val,
+        /// Offset.
+        off: Val,
+    },
+    /// Memory store: `mem[base + off] <- val`.
+    Store {
+        /// Full/empty flavor.
+        flavor: StoreFlavor,
+        /// Base address.
+        base: Val,
+        /// Offset.
+        off: Val,
+        /// Value stored.
+        val: Val,
+    },
+    /// Spawn a thread running `func` with `args`.
+    Fork {
+        /// Target function index.
+        func: usize,
+        /// Arguments (captured values).
+        args: Vec<Val>,
+    },
+    /// Statistics marker.
+    Probe {
+        /// Marker id.
+        id: u32,
+    },
+}
+
+impl InstKind {
+    /// The operand values read.
+    pub fn reads(&self) -> Vec<Val> {
+        match self {
+            InstKind::Un { a, .. } => vec![*a],
+            InstKind::Bin { a, b, .. } => vec![*a, *b],
+            InstKind::Load { base, off, .. } => vec![*base, *off],
+            InstKind::Store {
+                base, off, val, ..
+            } => vec![*base, *off, *val],
+            InstKind::Fork { args, .. } => args.clone(),
+            InstKind::Probe { .. } => vec![],
+        }
+    }
+
+    /// True for loads and stores.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, InstKind::Load { .. } | InstKind::Store { .. })
+    }
+
+    /// True for memory operations whose full/empty flavor synchronizes
+    /// (treated as fences by the scheduler).
+    pub fn is_sync(&self) -> bool {
+        match self {
+            InstKind::Load { flavor, .. } => *flavor != LoadFlavor::Plain,
+            InstKind::Store { flavor, .. } => *flavor != StoreFlavor::Plain,
+            _ => false,
+        }
+    }
+
+    /// True for side-effect-free instructions, safe for CSE/DCE.
+    pub fn is_pure(&self) -> bool {
+        matches!(self, InstKind::Un { .. } | InstKind::Bin { .. })
+    }
+}
+
+/// One IR instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inst {
+    /// The operation.
+    pub kind: InstKind,
+    /// Destination register, if the operation produces a value.
+    pub dst: Option<VReg>,
+}
+
+/// Basic-block terminator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Term {
+    /// Unconditional transfer.
+    Jump(usize),
+    /// Conditional transfer: `cond` nonzero → `then_`, else `else_`.
+    Br {
+        /// The condition value.
+        cond: Val,
+        /// Taken block.
+        then_: usize,
+        /// Untaken block.
+        else_: usize,
+    },
+    /// Thread exit.
+    Halt,
+}
+
+/// A basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Instructions in program order.
+    pub insts: Vec<Inst>,
+    /// Terminator.
+    pub term: Term,
+}
+
+impl Block {
+    /// An empty block ending in `Halt` (patched during construction).
+    pub fn new() -> Self {
+        Block {
+            insts: Vec::new(),
+            term: Term::Halt,
+        }
+    }
+}
+
+impl Default for Block {
+    fn default() -> Self {
+        Block::new()
+    }
+}
+
+/// One compiled thread body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Func {
+    /// Diagnostic name.
+    pub name: String,
+    /// Parameter registers (filled by `fork` at spawn).
+    pub params: Vec<VReg>,
+    /// Blocks; index 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Type of each virtual register, indexed by `VReg.0`.
+    pub types: Vec<Ty>,
+    /// Load-balancing variant: rotates the cluster preference order
+    /// (`forall` compiles one variant per arithmetic cluster).
+    pub variant: usize,
+}
+
+impl Func {
+    /// Creates an empty function.
+    pub fn new(name: impl Into<String>, variant: usize) -> Self {
+        Func {
+            name: name.into(),
+            params: Vec::new(),
+            blocks: vec![Block::new()],
+            types: Vec::new(),
+            variant,
+        }
+    }
+
+    /// Allocates a fresh virtual register of type `ty`.
+    pub fn fresh(&mut self, ty: Ty) -> VReg {
+        let r = VReg(self.types.len() as u32);
+        self.types.push(ty);
+        r
+    }
+
+    /// The type of `r`.
+    pub fn ty(&self, r: VReg) -> Ty {
+        self.types[r.0 as usize]
+    }
+
+    /// Registers that must live across blocks: parameters, registers used
+    /// in a block other than the defining one, and registers defined more
+    /// than once. Everything else is a block-local temporary.
+    pub fn variables(&self) -> HashSet<VReg> {
+        let mut def_block: Vec<Option<usize>> = vec![None; self.types.len()];
+        let mut multi: HashSet<VReg> = HashSet::new();
+        for (bi, b) in self.blocks.iter().enumerate() {
+            for inst in &b.insts {
+                if let Some(d) = inst.dst {
+                    match def_block[d.0 as usize] {
+                        None => def_block[d.0 as usize] = Some(bi),
+                        Some(_) => {
+                            multi.insert(d);
+                        }
+                    }
+                }
+            }
+        }
+        let mut vars: HashSet<VReg> = multi;
+        vars.extend(self.params.iter().copied());
+        for (bi, b) in self.blocks.iter().enumerate() {
+            let mut uses = Vec::new();
+            for inst in &b.insts {
+                uses.extend(inst.kind.reads());
+            }
+            if let Term::Br { cond, .. } = b.term {
+                uses.push(cond);
+            }
+            for u in uses.into_iter().filter_map(|v| v.reg()) {
+                match def_block[u.0 as usize] {
+                    Some(db) if db == bi => {}
+                    _ => {
+                        vars.insert(u);
+                    }
+                }
+            }
+        }
+        vars
+    }
+
+    /// Total instruction count (diagnostics).
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+impl fmt::Display for Func {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "func {} (variant {})", self.name, self.variant)?;
+        write!(f, "  params:")?;
+        for p in &self.params {
+            write!(f, " {p}")?;
+        }
+        writeln!(f)?;
+        for (bi, b) in self.blocks.iter().enumerate() {
+            writeln!(f, " b{bi}:")?;
+            for inst in &b.insts {
+                write!(f, "    ")?;
+                if let Some(d) = inst.dst {
+                    write!(f, "{d} = ")?;
+                }
+                match &inst.kind {
+                    InstKind::Un { op, a } => writeln!(f, "{op:?} {a}")?,
+                    InstKind::Bin { op, a, b } => writeln!(f, "{op:?} {a}, {b}")?,
+                    InstKind::Load { flavor, base, off } => {
+                        writeln!(f, "{} [{base} + {off}]", flavor.mnemonic())?
+                    }
+                    InstKind::Store {
+                        flavor,
+                        base,
+                        off,
+                        val,
+                    } => writeln!(f, "{} [{base} + {off}], {val}", flavor.mnemonic())?,
+                    InstKind::Fork { func, args } => {
+                        write!(f, "fork f{func}")?;
+                        for a in args {
+                            write!(f, " {a}")?;
+                        }
+                        writeln!(f)?
+                    }
+                    InstKind::Probe { id } => writeln!(f, "probe !{id}")?,
+                }
+            }
+            match b.term {
+                Term::Jump(t) => writeln!(f, "    jump b{t}")?,
+                Term::Br { cond, then_, else_ } => {
+                    writeln!(f, "    br {cond} ? b{then_} : b{else_}")?
+                }
+                Term::Halt => writeln!(f, "    halt")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A compiled module: all thread bodies plus global symbol layout.
+#[derive(Debug, Clone, Default)]
+pub struct IrProgram {
+    /// All functions; entry is index 0.
+    pub funcs: Vec<Func>,
+    /// Global symbols: `(name, address, length, element type)`.
+    pub symbols: Vec<(String, u64, u64, Ty)>,
+    /// One past the last statically allocated address.
+    pub memory_size: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_registers_are_typed() {
+        let mut f = Func::new("t", 0);
+        let a = f.fresh(Ty::Int);
+        let b = f.fresh(Ty::Float);
+        assert_eq!(f.ty(a), Ty::Int);
+        assert_eq!(f.ty(b), Ty::Float);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn variables_cross_block_and_multi_def() {
+        let mut f = Func::new("t", 0);
+        let a = f.fresh(Ty::Int); // defined b0, used b1 -> variable
+        let t = f.fresh(Ty::Int); // defined and used in b1 -> temp
+        let m = f.fresh(Ty::Int); // defined twice in b0 -> variable
+        f.blocks[0].insts.push(Inst {
+            kind: InstKind::Bin {
+                op: BinOp::Add,
+                a: Val::CI(1),
+                b: Val::CI(2),
+            },
+            dst: Some(a),
+        });
+        f.blocks[0].insts.push(Inst {
+            kind: InstKind::Un {
+                op: UnOp::Mov,
+                a: Val::CI(0),
+            },
+            dst: Some(m),
+        });
+        f.blocks[0].insts.push(Inst {
+            kind: InstKind::Un {
+                op: UnOp::Mov,
+                a: Val::CI(1),
+            },
+            dst: Some(m),
+        });
+        f.blocks[0].term = Term::Jump(1);
+        f.blocks.push(Block::new());
+        f.blocks[1].insts.push(Inst {
+            kind: InstKind::Bin {
+                op: BinOp::Add,
+                a: Val::R(a),
+                b: Val::CI(1),
+            },
+            dst: Some(t),
+        });
+        f.blocks[1].insts.push(Inst {
+            kind: InstKind::Store {
+                flavor: StoreFlavor::Plain,
+                base: Val::CI(0),
+                off: Val::CI(0),
+                val: Val::R(t),
+            },
+            dst: None,
+        });
+        let vars = f.variables();
+        assert!(vars.contains(&a));
+        assert!(vars.contains(&m));
+        assert!(!vars.contains(&t));
+    }
+
+    #[test]
+    fn params_are_variables() {
+        let mut f = Func::new("t", 0);
+        let p = f.fresh(Ty::Int);
+        f.params.push(p);
+        assert!(f.variables().contains(&p));
+    }
+
+    #[test]
+    fn kind_metadata() {
+        let ld = InstKind::Load {
+            flavor: LoadFlavor::Consume,
+            base: Val::CI(0),
+            off: Val::CI(0),
+        };
+        assert!(ld.is_mem());
+        assert!(ld.is_sync());
+        assert!(!ld.is_pure());
+        let add = InstKind::Bin {
+            op: BinOp::Add,
+            a: Val::CI(1),
+            b: Val::CI(2),
+        };
+        assert!(add.is_pure());
+        assert!(!add.is_mem());
+        assert_eq!(add.reads().len(), 2);
+    }
+
+    #[test]
+    fn display_renders() {
+        let mut f = Func::new("demo", 1);
+        let a = f.fresh(Ty::Int);
+        f.blocks[0].insts.push(Inst {
+            kind: InstKind::Bin {
+                op: BinOp::Add,
+                a: Val::CI(1),
+                b: Val::CI(2),
+            },
+            dst: Some(a),
+        });
+        let s = f.to_string();
+        assert!(s.contains("func demo"));
+        assert!(s.contains("v0 = Add 1, 2"));
+        assert!(s.contains("halt"));
+    }
+}

@@ -1,0 +1,212 @@
+//! **FFT**: a 32-point decimation-in-time fast Fourier transform of
+//! complex numbers (paper §4). A *sequential* data-movement routine
+//! places the input vector in bit-flipped order — the sequential section
+//! that makes TPE lose to STS in the paper — then five butterfly stages
+//! run; the threaded variant executes the 16 butterflies of each stage
+//! concurrently, and the ideal variant unrolls everything.
+
+use super::{check_close, read_floats, write_floats, Benchmark};
+use pc_sim::Machine;
+use std::f64::consts::PI;
+
+const N: usize = 32;
+
+fn globals() -> String {
+    "(const n 32)
+     (global ar (array float 32))
+     (global ai (array float 32))
+     (global xr (array float 32))
+     (global xi (array float 32))
+     (global wr (array float 16))
+     (global wi (array float 16))
+     (global fdone (array int 16))"
+        .to_string()
+}
+
+/// Bit-reversal copy (5-bit reverse via shifts and masks).
+fn bitrev(unroll: bool) -> String {
+    let u = if unroll { ":unroll full " } else { "" };
+    format!(
+        "(for (i 0 n) {u}
+           (let ((r (or (shl (and i 1) 4)
+                        (shl (and i 2) 2)
+                        (and i 4)
+                        (and (shr i 2) 2)
+                        (and (shr i 4) 1))))
+             (aset xr r (aref ar i))
+             (aset xi r (aref ai i))))"
+    )
+}
+
+/// One butterfly, parameterized by loop-variable names.
+fn butterfly() -> &'static str {
+    "(let ((grp (/ kk half)) (pos (% kk half)))
+       (let ((i1 (+ (* grp m2) pos)) (tw (shl pos tshift)))
+         (let ((i2 (+ i1 half)))
+           (let ((w0r (aref wr tw)) (w0i (aref wi tw))
+                 (x2r (aref xr i2)) (x2i (aref xi i2))
+                 (x1r (aref xr i1)) (x1i (aref xi i1)))
+             (let ((tr (- (* w0r x2r) (* w0i x2i)))
+                   (ti (+ (* w0r x2i) (* w0i x2r))))
+               (aset xr i2 (- x1r tr))
+               (aset xi i2 (- x1i ti))
+               (aset xr i1 (+ x1r tr))
+               (aset xi i1 (+ x1i ti)))))))"
+}
+
+/// Deterministic complex input.
+pub(crate) fn inputs() -> (Vec<f64>, Vec<f64>) {
+    let ar: Vec<f64> = (0..N).map(|i| 0.3 * ((i % 5) as f64) - 0.6).collect();
+    let ai: Vec<f64> = (0..N).map(|i| 0.2 * ((i % 3) as f64) - 0.1).collect();
+    (ar, ai)
+}
+
+fn twiddles() -> (Vec<f64>, Vec<f64>) {
+    let wr: Vec<f64> = (0..N / 2)
+        .map(|t| (-2.0 * PI * t as f64 / N as f64).cos())
+        .collect();
+    let wi: Vec<f64> = (0..N / 2)
+        .map(|t| (-2.0 * PI * t as f64 / N as f64).sin())
+        .collect();
+    (wr, wi)
+}
+
+/// Reference: direct DFT.
+pub(crate) fn reference() -> (Vec<f64>, Vec<f64>) {
+    let (ar, ai) = inputs();
+    let mut outr = vec![0.0; N];
+    let mut outi = vec![0.0; N];
+    for (k, (or_, oi)) in outr.iter_mut().zip(outi.iter_mut()).enumerate() {
+        for t in 0..N {
+            let ang = -2.0 * PI * (k * t) as f64 / N as f64;
+            let (s, c) = ang.sin_cos();
+            *or_ += ar[t] * c - ai[t] * s;
+            *oi += ar[t] * s + ai[t] * c;
+        }
+    }
+    (outr, outi)
+}
+
+fn setup(m: &mut Machine) -> Result<(), pc_sim::SimError> {
+    let (ar, ai) = inputs();
+    let (wr, wi) = twiddles();
+    write_floats(m, "ar", &ar)?;
+    write_floats(m, "ai", &ai)?;
+    write_floats(m, "wr", &wr)?;
+    write_floats(m, "wi", &wi)?;
+    m.set_global_empty("fdone")?;
+    Ok(())
+}
+
+fn check(m: &mut Machine) -> Result<(), String> {
+    let (wantr, wanti) = reference();
+    let gotr = read_floats(m, "xr")?;
+    let goti = read_floats(m, "xi")?;
+    check_close("xr", &gotr, &wantr, 1e-9)?;
+    check_close("xi", &goti, &wanti, 1e-9)
+}
+
+/// Builds the FFT benchmark.
+pub fn fft() -> Benchmark {
+    // The bit-reversal data movement is written straight-line (unrolled):
+    // the paper calls it "a sequential data movement routine" and it is
+    // precisely what lets STS beat TPE — a single TPE thread runs it on
+    // one cluster while STS/Coupled spread it over every memory unit.
+    let seq_src = format!(
+        "{}
+         (defun main ()
+           {}
+           (for (s 0 5)
+             (let ((half (shl 1 s)) (m2 (shl 1 (+ s 1))) (tshift (- 4 s)))
+               (for (kk 0 16)
+                 {}))))",
+        globals(),
+        bitrev(true),
+        butterfly()
+    );
+    let threaded_src = format!(
+        "{}
+         (defun main ()
+           {}
+           (for (s 0 5)
+             (let ((half (shl 1 s)) (m2 (shl 1 (+ s 1))) (tshift (- 4 s)))
+               (forall (kk 0 16)
+                 {}
+                 (produce fdone kk 1))
+               (for (q 0 16) (consume fdone q)))))",
+        globals(),
+        bitrev(true),
+        butterfly()
+    );
+    let ideal_src = format!(
+        "{}
+         (defun main ()
+           {}
+           (for (s 0 5) :unroll full
+             (let ((half (shl 1 s)) (m2 (shl 1 (+ s 1))) (tshift (- 4 s)))
+               (for (kk 0 16) :unroll full
+                 {}))))",
+        globals(),
+        bitrev(true),
+        butterfly()
+    );
+    Benchmark {
+        name: "FFT",
+        seq_src,
+        threaded_src,
+        ideal_src: Some(ideal_src),
+        setup,
+        check,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rust FFT mirroring the benchmark's algorithm, checked against the
+    /// direct DFT — guards the source program's index arithmetic.
+    #[test]
+    fn mirrored_fft_matches_dft() {
+        let (ar, ai) = inputs();
+        let (wr, wi) = twiddles();
+        let mut xr = vec![0.0; N];
+        let mut xi = vec![0.0; N];
+        for i in 0..N {
+            let r = ((i & 1) << 4) | ((i & 2) << 2) | (i & 4) | ((i >> 2) & 2) | ((i >> 4) & 1);
+            xr[r] = ar[i];
+            xi[r] = ai[i];
+        }
+        for s in 0..5 {
+            let half = 1 << s;
+            let m2 = 1 << (s + 1);
+            let tshift = 4 - s;
+            for kk in 0..16 {
+                let grp = kk / half;
+                let pos = kk % half;
+                let i1 = grp * m2 + pos;
+                let tw = pos << tshift;
+                let i2 = i1 + half;
+                let tr = wr[tw] * xr[i2] - wi[tw] * xi[i2];
+                let ti = wr[tw] * xi[i2] + wi[tw] * xr[i2];
+                xr[i2] = xr[i1] - tr;
+                xi[i2] = xi[i1] - ti;
+                xr[i1] += tr;
+                xi[i1] += ti;
+            }
+        }
+        let (wantr, wanti) = reference();
+        for k in 0..N {
+            assert!((xr[k] - wantr[k]).abs() < 1e-9, "xr[{k}]");
+            assert!((xi[k] - wanti[k]).abs() < 1e-9, "xi[{k}]");
+        }
+    }
+
+    #[test]
+    fn sources_parse() {
+        let b = fft();
+        pc_compiler::front::expand(&b.seq_src).unwrap();
+        pc_compiler::front::expand(&b.threaded_src).unwrap();
+        pc_compiler::front::expand(b.ideal_src.as_ref().unwrap()).unwrap();
+    }
+}

@@ -1,0 +1,141 @@
+//! The paper's benchmark suite (§4 "Benchmarks"): Matrix, FFT, LUD and
+//! Model, each written in the source language in sequential, threaded,
+//! and (where statically schedulable) hand-unrolled ideal variants, with
+//! Rust reference implementations for numerical validation.
+
+pub mod fft;
+pub mod lud;
+pub mod matrix;
+pub mod model;
+
+pub use fft::fft;
+pub use lud::lud;
+pub use matrix::matrix;
+pub use model::{model, model_queue_coupled, model_queue_sts};
+
+use crate::mode::MachineMode;
+use pc_sim::{Machine, SimError};
+
+/// One benchmark: sources per variant plus setup/validation hooks.
+pub struct Benchmark {
+    /// Display name ("Matrix", "FFT", "LUD", "Model").
+    pub name: &'static str,
+    /// Single-threaded source (SEQ / STS modes).
+    pub seq_src: String,
+    /// Threaded source using `fork`/`forall` (TPE / Coupled modes).
+    pub threaded_src: String,
+    /// Fully hand-unrolled source (Ideal mode), when the benchmark's
+    /// control flow is statically schedulable.
+    pub ideal_src: Option<String>,
+    /// Writes inputs into simulated memory and empties sync cells.
+    pub setup: fn(&mut Machine) -> Result<(), SimError>,
+    /// Validates outputs against the Rust reference implementation.
+    pub check: fn(&mut Machine) -> Result<(), String>,
+}
+
+impl std::fmt::Debug for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Benchmark")
+            .field("name", &self.name)
+            .field("ideal", &self.ideal_src.is_some())
+            .finish()
+    }
+}
+
+impl Benchmark {
+    /// The source text used by `mode`, or `None` when the benchmark has
+    /// no such variant (Ideal for LUD and Model).
+    pub fn source(&self, mode: MachineMode) -> Option<&str> {
+        match mode {
+            MachineMode::Seq | MachineMode::Sts => Some(&self.seq_src),
+            MachineMode::Tpe | MachineMode::Coupled => Some(&self.threaded_src),
+            MachineMode::Ideal => self.ideal_src.as_deref(),
+        }
+    }
+}
+
+/// The full suite in the paper's order.
+pub fn all() -> Vec<Benchmark> {
+    vec![matrix(), fft(), lud(), model()]
+}
+
+/// Helper: compare two float slices within tolerance, reporting the worst
+/// offender.
+pub(crate) fn check_close(name: &str, got: &[f64], want: &[f64], tol: f64) -> Result<(), String> {
+    if got.len() != want.len() {
+        return Err(format!(
+            "{name}: length mismatch ({} vs {})",
+            got.len(),
+            want.len()
+        ));
+    }
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let err = (g - w).abs();
+        // NaN-safe: a NaN error must fail the check.
+        if err.is_nan() || err > tol * (1.0 + w.abs()) {
+            return Err(format!("{name}[{i}]: got {g}, want {w} (err {err:e})"));
+        }
+    }
+    Ok(())
+}
+
+/// Helper: pull a float array out of machine memory.
+pub(crate) fn read_floats(m: &mut Machine, name: &str) -> Result<Vec<f64>, String> {
+    m.read_global(name)
+        .map_err(|e| format!("reading {name}: {e}"))?
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| {
+            v.as_float()
+                .map_err(|_| format!("{name}[{i}] is not a float: {v}"))
+        })
+        .collect()
+}
+
+/// Helper: write a float array into machine memory.
+pub(crate) fn write_floats(m: &mut Machine, name: &str, xs: &[f64]) -> Result<(), SimError> {
+    let vals: Vec<pc_isa::Value> = xs.iter().map(|&x| pc_isa::Value::Float(x)).collect();
+    m.write_global(name, &vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_four_benchmarks() {
+        let suite = all();
+        assert_eq!(suite.len(), 4);
+        let names: Vec<_> = suite.iter().map(|b| b.name).collect();
+        assert_eq!(names, vec!["Matrix", "FFT", "LUD", "Model"]);
+    }
+
+    #[test]
+    fn ideal_only_where_statically_schedulable() {
+        assert!(matrix().ideal_src.is_some());
+        assert!(fft().ideal_src.is_some());
+        assert!(lud().ideal_src.is_none());
+        assert!(model().ideal_src.is_none());
+    }
+
+    #[test]
+    fn source_selection_follows_mode() {
+        let b = matrix();
+        assert_eq!(b.source(MachineMode::Seq), Some(b.seq_src.as_str()));
+        assert_eq!(b.source(MachineMode::Sts), Some(b.seq_src.as_str()));
+        assert_eq!(b.source(MachineMode::Tpe), Some(b.threaded_src.as_str()));
+        assert_eq!(
+            b.source(MachineMode::Coupled),
+            Some(b.threaded_src.as_str())
+        );
+        assert!(b.source(MachineMode::Ideal).is_some());
+        assert!(lud().source(MachineMode::Ideal).is_none());
+    }
+
+    #[test]
+    fn check_close_detects_errors() {
+        assert!(check_close("t", &[1.0], &[1.0 + 1e-12], 1e-9).is_ok());
+        assert!(check_close("t", &[1.0], &[2.0], 1e-9).is_err());
+        assert!(check_close("t", &[1.0], &[1.0, 2.0], 1e-9).is_err());
+    }
+}

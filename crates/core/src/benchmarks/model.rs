@@ -1,0 +1,399 @@
+//! **Model**: the device-model evaluator from a circuit simulator
+//! (paper §4): for each device of a 20-device CMOS operational amplifier,
+//! compute its drain current from the previous node voltages using a
+//! quadratic Shichman–Hodges MOSFET model with data-dependent region
+//! branches (cutoff / triode / saturation). A master loop iterates; the
+//! threaded version creates a thread per device per iteration.
+//!
+//! The paper's original SPICE netlist is unavailable; we substitute a
+//! synthetic two-stage op-amp-like netlist of 20 MOSFETs over 12 nodes
+//! (documented in DESIGN.md). The workload character is preserved:
+//! memory-dominated, little instruction-level parallelism, branchy.
+//!
+//! This module also provides the Table 3 *interference* variants: four
+//! persistent threads share a priority queue of devices through a
+//! full/empty-bit protected head cell, with `probe` markers timing every
+//! iteration.
+
+use super::{check_close, read_floats, write_floats, Benchmark};
+use pc_isa::Value;
+use pc_sim::Machine;
+
+/// Devices in the op-amp.
+pub const DEVICES: usize = 20;
+/// Circuit nodes (0 = ground, 1 = Vdd).
+pub const NODES: usize = 12;
+/// Master-loop iterations of the relaxation.
+pub const ITERS: usize = 3;
+
+/// One MOSFET of the synthetic netlist.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Device {
+    /// 0 = NMOS, 1 = PMOS.
+    pub dtype: i64,
+    /// Drain node.
+    pub nd: i64,
+    /// Gate node.
+    pub ng: i64,
+    /// Source node.
+    pub ns: i64,
+    /// Transconductance factor.
+    pub k: f64,
+    /// Threshold voltage.
+    pub vt: f64,
+    /// Channel-length modulation.
+    pub lambda: f64,
+}
+
+/// The synthetic 20-device two-stage op-amp netlist: a differential pair,
+/// current mirrors, a bias chain, and an output stage, padded with mirror
+/// legs to 20 devices. Deterministic by construction.
+pub fn netlist() -> Vec<Device> {
+    let mut d = Vec::with_capacity(DEVICES);
+    // (type, nd, ng, ns, k, vt, lambda)
+    let spec: [(i64, i64, i64, i64, f64, f64, f64); 20] = [
+        (0, 4, 2, 6, 2.0e-4, 0.7, 0.02),  // M1 diff pair left
+        (0, 5, 3, 6, 2.0e-4, 0.7, 0.02),  // M2 diff pair right
+        (1, 4, 4, 1, 1.0e-4, 0.8, 0.03),  // M3 mirror load (diode)
+        (1, 5, 4, 1, 1.0e-4, 0.8, 0.03),  // M4 mirror load
+        (0, 6, 7, 0, 3.0e-4, 0.7, 0.02),  // M5 tail source
+        (0, 7, 7, 0, 3.0e-4, 0.7, 0.02),  // M6 bias diode
+        (1, 8, 5, 1, 4.0e-4, 0.8, 0.03),  // M7 second stage
+        (0, 8, 7, 0, 3.0e-4, 0.7, 0.02),  // M8 second-stage sink
+        (1, 9, 8, 1, 5.0e-4, 0.8, 0.03),  // M9 output pull-up
+        (0, 9, 8, 0, 5.0e-4, 0.7, 0.02),  // M10 output pull-down
+        (0, 10, 7, 0, 2.5e-4, 0.7, 0.02), // M11 mirror leg
+        (1, 10, 4, 1, 1.5e-4, 0.8, 0.03), // M12 cascode-ish
+        (0, 11, 10, 0, 2.0e-4, 0.7, 0.02), // M13
+        (1, 11, 8, 1, 2.0e-4, 0.8, 0.03), // M14
+        (0, 2, 7, 0, 1.0e-4, 0.7, 0.02),  // M15 input bias
+        (0, 3, 7, 0, 1.0e-4, 0.7, 0.02),  // M16 input bias
+        (1, 6, 4, 1, 1.2e-4, 0.8, 0.03),  // M17
+        (0, 4, 10, 0, 1.1e-4, 0.7, 0.02), // M18
+        (1, 9, 10, 1, 1.3e-4, 0.8, 0.03), // M19
+        (0, 11, 7, 0, 1.4e-4, 0.7, 0.02), // M20
+    ];
+    for (t, nd, ng, ns, k, vt, lambda) in spec {
+        d.push(Device {
+            dtype: t,
+            nd,
+            ng,
+            ns,
+            k,
+            vt,
+            lambda,
+        });
+    }
+    d
+}
+
+/// Initial node voltages (node 0 ground, node 1 Vdd = 5 V, internal nodes
+/// biased mid-rail-ish).
+pub fn initial_voltages() -> Vec<f64> {
+    let mut v = vec![0.0; NODES];
+    v[1] = 5.0;
+    for (n, vn) in v.iter_mut().enumerate().skip(2) {
+        *vn = 1.0 + 0.3 * (n as f64 - 2.0);
+    }
+    v
+}
+
+/// Global declarations for the device tables and node state — public for
+/// applications embedding the model evaluator.
+pub fn device_globals_source() -> String {
+    format!(
+        "(const nd {DEVICES})
+         (const nn {NODES})
+         (const niter {ITERS})
+         (global dtype (array int {DEVICES}))
+         (global dnd (array int {DEVICES}))
+         (global dng (array int {DEVICES}))
+         (global dns (array int {DEVICES}))
+         (global dk (array float {DEVICES}))
+         (global dvt (array float {DEVICES}))
+         (global dlam (array float {DEVICES}))
+         (global vnode (array float {NODES}))
+         (global inode (array float {NODES}))
+         (global idev (array float {DEVICES}))
+         (global mdone (array int {DEVICES}))
+         (global wdone (array int 4))
+         (global qhead (array int 1))"
+    )
+}
+
+/// The device-evaluation procedure, inlined at every call site —
+/// public so applications can embed the same model (the paper: these
+/// benchmarks are "building blocks for larger numerical applications").
+pub fn eval_device_source() -> &'static str {
+    "(defun eval-device (d)
+       (let ((vd (aref vnode (aref dnd d)))
+             (vg (aref vnode (aref dng d)))
+             (vs (aref vnode (aref dns d)))
+             (kp (aref dk d)) (vt (aref dvt d)) (lam (aref dlam d))
+             (vgs 0.0) (vds 0.0) (sgn 1.0))
+         (if (= (aref dtype d) 0)
+           (begin (set vgs (- vg vs)) (set vds (- vd vs)) (set sgn 1.0))
+           (begin (set vgs (- vs vg)) (set vds (- vs vd)) (set sgn -1.0)))
+         (let ((vov (- vgs vt)) (cur 0.0))
+           (if (> vov 0.0)
+             (if (< vds vov)
+               (set cur (* (* kp (- (* vov vds) (* (* 0.5 vds) vds)))
+                           (+ 1.0 (* lam vds))))
+               (set cur (* (* (* 0.5 kp) (* vov vov))
+                           (+ 1.0 (* lam vds))))))
+           (aset idev d (* sgn cur)))))"
+}
+
+/// Node-current accumulation and the voltage relaxation step (sequential
+/// in every variant, as in the paper's Jacobi-style evaluator).
+fn accumulate_and_relax() -> &'static str {
+    "(for (z 0 nn) (aset inode z 0.0))
+     (for (d2 0 nd)
+       (aset inode (aref dnd d2) (+ (aref inode (aref dnd d2)) (aref idev d2))))
+     (for (z2 2 nn)
+       (aset vnode z2 (- (aref vnode z2) (* 0.001 (aref inode z2)))))"
+}
+
+/// Reference evaluator mirroring the source program's arithmetic exactly.
+pub(crate) fn reference() -> (Vec<f64>, Vec<f64>) {
+    let devs = netlist();
+    let mut v = initial_voltages();
+    let mut idev = vec![0.0; DEVICES];
+    let mut inode = [0.0; NODES];
+    for _ in 0..ITERS {
+        for (d, dev) in devs.iter().enumerate() {
+            idev[d] = eval_one(dev, &v);
+        }
+        inode.iter_mut().for_each(|x| *x = 0.0);
+        for (d, dev) in devs.iter().enumerate() {
+            inode[dev.nd as usize] += idev[d];
+        }
+        for (n, vn) in v.iter_mut().enumerate().skip(2) {
+            *vn -= 0.001 * inode[n];
+        }
+    }
+    (idev, v)
+}
+
+/// One device evaluation in Rust (mirrors [`eval_device_source`]
+/// exactly) — exposed so applications built on the benchmark (see
+/// `examples/circuit_sim.rs`) can validate against it.
+pub fn eval_one(dev: &Device, v: &[f64]) -> f64 {
+    let (vd, vg, vs) = (
+        v[dev.nd as usize],
+        v[dev.ng as usize],
+        v[dev.ns as usize],
+    );
+    let (vgs, vds, sgn) = if dev.dtype == 0 {
+        (vg - vs, vd - vs, 1.0)
+    } else {
+        (vs - vg, vs - vd, -1.0)
+    };
+    let vov = vgs - dev.vt;
+    let mut cur = 0.0;
+    if vov > 0.0 {
+        if vds < vov {
+            cur = (dev.k * (vov * vds - (0.5 * vds) * vds)) * (1.0 + dev.lambda * vds);
+        } else {
+            cur = ((0.5 * dev.k) * (vov * vov)) * (1.0 + dev.lambda * vds);
+        }
+    }
+    sgn * cur
+}
+
+/// Writes the netlist and initial state into machine memory — public for
+/// applications embedding the model evaluator.
+pub fn setup(m: &mut Machine) -> Result<(), pc_sim::SimError> {
+    let devs = netlist();
+    let ints = |f: &dyn Fn(&Device) -> i64| -> Vec<Value> {
+        devs.iter().map(|d| Value::Int(f(d))).collect()
+    };
+    m.write_global("dtype", &ints(&|d| d.dtype))?;
+    m.write_global("dnd", &ints(&|d| d.nd))?;
+    m.write_global("dng", &ints(&|d| d.ng))?;
+    m.write_global("dns", &ints(&|d| d.ns))?;
+    write_floats(m, "dk", &devs.iter().map(|d| d.k).collect::<Vec<_>>())?;
+    write_floats(m, "dvt", &devs.iter().map(|d| d.vt).collect::<Vec<_>>())?;
+    write_floats(m, "dlam", &devs.iter().map(|d| d.lambda).collect::<Vec<_>>())?;
+    write_floats(m, "vnode", &initial_voltages())?;
+    m.set_global_empty("mdone")?;
+    m.set_global_empty("wdone")?;
+    m.write_global("qhead", &[Value::Int(0)])?; // full: queue head ready
+    Ok(())
+}
+
+fn check(m: &mut Machine) -> Result<(), String> {
+    let (want_i, want_v) = reference();
+    let got_i = read_floats(m, "idev")?;
+    let got_v = read_floats(m, "vnode")?;
+    check_close("idev", &got_i, &want_i, 1e-9)?;
+    check_close("vnode", &got_v, &want_v, 1e-9)
+}
+
+/// Builds the Model benchmark.
+pub fn model() -> Benchmark {
+    let seq_src = format!(
+        "{}
+         {}
+         (defun main ()
+           (for (it 0 niter)
+             (for (d 0 nd) (eval-device d))
+             {}))",
+        device_globals_source(),
+        eval_device_source(),
+        accumulate_and_relax()
+    );
+    let threaded_src = format!(
+        "{}
+         {}
+         (defun main ()
+           (for (it 0 niter)
+             (forall (d 0 nd)
+               (eval-device d)
+               (produce mdone d 1))
+             (for (q 0 nd) (consume mdone q))
+             {}))",
+        device_globals_source(),
+        eval_device_source(),
+        accumulate_and_relax()
+    );
+    Benchmark {
+        name: "Model",
+        seq_src,
+        threaded_src,
+        ideal_src: None, // data-dependent region branches
+        setup,
+        check,
+    }
+}
+
+/// Table 3 variant, Coupled: four persistent worker threads pull device
+/// ids from a shared queue whose head cell's full/empty bit is the lock
+/// (consume = take, produce = put). Every dequeue is marked with
+/// `(probe 1)`; workers signal completion through `wdone`.
+pub fn model_queue_coupled() -> Benchmark {
+    let src = format!(
+        "{}
+         {}
+         (defun main ()
+           (forall (w 0 4)
+             (let ((run 1))
+               (while run
+                 (let ((d (consume qhead 0)))
+                   (if (< d nd)
+                     (begin
+                       (produce qhead 0 (+ d 1))
+                       (probe 1)
+                       (eval-device d))
+                     (begin
+                       (produce qhead 0 d)
+                       (set run 0))))))
+             (produce wdone w 1))
+           (for (q 0 4) (consume wdone q)))",
+        device_globals_source(),
+        eval_device_source()
+    );
+    Benchmark {
+        name: "Model/queue",
+        seq_src: src.clone(),
+        threaded_src: src,
+        ideal_src: None,
+        setup: queue_setup,
+        check: queue_check,
+    }
+}
+
+/// Table 3 comparison point, STS: one thread evaluates all 20 devices,
+/// probing each iteration.
+pub fn model_queue_sts() -> Benchmark {
+    let src = format!(
+        "{}
+         {}
+         (defun main ()
+           (for (d 0 nd)
+             (probe 1)
+             (eval-device d)))",
+        device_globals_source(),
+        eval_device_source()
+    );
+    Benchmark {
+        name: "Model/queue-sts",
+        seq_src: src.clone(),
+        threaded_src: src,
+        ideal_src: None,
+        setup: queue_setup,
+        check: queue_check,
+    }
+}
+
+fn queue_setup(m: &mut Machine) -> Result<(), pc_sim::SimError> {
+    setup(m)
+}
+
+/// The queue variants evaluate every device exactly once against the
+/// initial voltages.
+fn queue_check(m: &mut Machine) -> Result<(), String> {
+    let devs = netlist();
+    let v = initial_voltages();
+    let want: Vec<f64> = devs.iter().map(|d| eval_one(d, &v)).collect();
+    let got = read_floats(m, "idev")?;
+    check_close("idev", &got, &want, 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn netlist_is_well_formed() {
+        let devs = netlist();
+        assert_eq!(devs.len(), DEVICES);
+        for d in &devs {
+            assert!((0..NODES as i64).contains(&d.nd));
+            assert!((0..NODES as i64).contains(&d.ng));
+            assert!((0..NODES as i64).contains(&d.ns));
+            assert!(d.k > 0.0 && d.vt > 0.0 && d.lambda > 0.0);
+        }
+        // Both device types present (PMOS pull-ups, NMOS pull-downs).
+        assert!(devs.iter().any(|d| d.dtype == 0));
+        assert!(devs.iter().any(|d| d.dtype == 1));
+    }
+
+    #[test]
+    fn reference_exercises_all_regions() {
+        // The netlist should include cutoff, triode and saturation devices
+        // at the initial operating point — that's the branchy behaviour
+        // the benchmark exists to exercise.
+        let devs = netlist();
+        let v = initial_voltages();
+        let mut cutoff = 0;
+        let mut conducting = 0;
+        for d in &devs {
+            let i = eval_one(d, &v);
+            if i == 0.0 {
+                cutoff += 1;
+            } else {
+                conducting += 1;
+            }
+        }
+        assert!(cutoff > 0, "no cutoff devices");
+        assert!(conducting > 0, "no conducting devices");
+    }
+
+    #[test]
+    fn reference_is_finite_and_stable() {
+        let (idev, v) = reference();
+        assert!(idev.iter().all(|x| x.is_finite()));
+        assert!(v.iter().all(|x| x.is_finite() && x.abs() < 100.0));
+        assert_eq!(v[0], 0.0);
+        assert_eq!(v[1], 5.0);
+    }
+
+    #[test]
+    fn sources_parse() {
+        for b in [model(), model_queue_coupled(), model_queue_sts()] {
+            pc_compiler::front::expand(&b.seq_src).unwrap();
+            pc_compiler::front::expand(&b.threaded_src).unwrap();
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! `pcsim` — command-line front end to the processor-coupling toolchain.
+//!
+//! ```text
+//! pcsim run <matrix|fft|lud|model> [--mode seq|sts|ideal|tpe|coupled]
+//!           [--interconnect full|tri|dual|single|bus] [--memory min|mem1|mem2]
+//!           [--seed N] [--lockstep] [--priority]
+//! pcsim compile <source.pc> [--single]      # print the scheduled assembly
+//! pcsim exec <source.pc> [--trace N]        # compile and run a source file
+//! pcsim tables [table2|table3|fig5|fig6|fig7|fig8|ablations|registers|scaling]
+//! ```
+
+use coupling::experiments::{ablation, baseline, comm, interference, latency, mix, registers, scaling};
+use coupling::{benchmarks, run_benchmark, MachineMode};
+use pc_compiler::ScheduleMode;
+use pc_isa::{ArbitrationPolicy, InterconnectScheme, MachineConfig, MemoryModel, UnitClass};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:
+  pcsim run <matrix|fft|lud|model> [--mode M] [--interconnect I] [--memory MM] [--seed N] [--lockstep] [--priority]
+  pcsim compile <source.pc> [--single]
+  pcsim exec <source.pc> [--trace N]
+  pcsim tables [table2|table3|fig5|fig6|fig7|fig8|ablations|registers|scaling]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_mode(s: &str) -> MachineMode {
+    match s {
+        "seq" => MachineMode::Seq,
+        "sts" => MachineMode::Sts,
+        "ideal" => MachineMode::Ideal,
+        "tpe" => MachineMode::Tpe,
+        "coupled" => MachineMode::Coupled,
+        _ => usage(),
+    }
+}
+
+fn parse_scheme(s: &str) -> InterconnectScheme {
+    match s {
+        "full" => InterconnectScheme::Full,
+        "tri" => InterconnectScheme::TriPort,
+        "dual" => InterconnectScheme::DualPort,
+        "single" => InterconnectScheme::SinglePort,
+        "bus" => InterconnectScheme::SharedBus,
+        _ => usage(),
+    }
+}
+
+fn parse_memory(s: &str) -> MemoryModel {
+    match s {
+        "min" => MemoryModel::min(),
+        "mem1" => MemoryModel::mem1(),
+        "mem2" => MemoryModel::mem2(),
+        _ => usage(),
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "run" => cmd_run(rest),
+        "compile" => cmd_compile(rest),
+        "exec" => cmd_exec(rest),
+        "tables" => cmd_tables(rest),
+        _ => usage(),
+    };
+    if let Err(e) = result {
+        eprintln!("pcsim: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(name) = args.first() else { usage() };
+    let bench = match name.as_str() {
+        "matrix" => benchmarks::matrix(),
+        "fft" => benchmarks::fft(),
+        "lud" => benchmarks::lud(),
+        "model" => benchmarks::model(),
+        _ => usage(),
+    };
+    let mode = flag_value(args, "--mode")
+        .map(|s| parse_mode(&s))
+        .unwrap_or(MachineMode::Coupled);
+    let mut config = MachineConfig::baseline();
+    if let Some(s) = flag_value(args, "--interconnect") {
+        config = config.with_interconnect(parse_scheme(&s));
+    }
+    if let Some(s) = flag_value(args, "--memory") {
+        config = config.with_memory(parse_memory(&s));
+    }
+    if let Some(s) = flag_value(args, "--seed") {
+        config = config.with_seed(s.parse()?);
+    }
+    if args.iter().any(|a| a == "--lockstep") {
+        config = config.with_lockstep_issue(true);
+    }
+    if args.iter().any(|a| a == "--priority") {
+        config = config.with_arbitration(ArbitrationPolicy::FixedPriority);
+    }
+    let out = run_benchmark(&bench, mode, config)?;
+    println!("{} / {}: validated ✓", bench.name, mode.label());
+    println!("cycles      {}", out.stats.cycles);
+    println!("operations  {}", out.stats.ops_issued);
+    println!("threads     {}", out.stats.threads_spawned);
+    println!(
+        "utilization FPU {:.2}  IU {:.2}  MEM {:.2}  BR {:.2}",
+        out.stats.utilization(UnitClass::Float),
+        out.stats.utilization(UnitClass::Integer),
+        out.stats.utilization(UnitClass::Memory),
+        out.stats.utilization(UnitClass::Branch),
+    );
+    println!(
+        "memory      {} refs, {:.1}% missed, {} parked",
+        out.stats.mem.total(),
+        100.0 * out.stats.mem.miss_rate(),
+        out.stats.mem.parked,
+    );
+    println!(
+        "interconnect {} writes granted, {} denied",
+        out.stats.xconn.grants, out.stats.xconn.denials
+    );
+    println!("peak regs   {} per cluster", out.peak_registers);
+    Ok(())
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(path) = args.first() else { usage() };
+    let src = std::fs::read_to_string(path)?;
+    let mode = if args.iter().any(|a| a == "--single") {
+        ScheduleMode::Single
+    } else {
+        ScheduleMode::Unrestricted
+    };
+    let out = pc_compiler::compile(&src, &MachineConfig::baseline(), mode)?;
+    print!("{}", pc_asm::print_program(&out.program));
+    eprintln!(
+        "; {} segments, {} ops, peak {} registers/cluster",
+        out.program.segments.len(),
+        out.program.op_count(),
+        out.peak_registers()
+    );
+    Ok(())
+}
+
+fn cmd_exec(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(path) = args.first() else { usage() };
+    let src = std::fs::read_to_string(path)?;
+    let config = MachineConfig::baseline();
+    let out = pc_compiler::compile(&src, &config, ScheduleMode::Unrestricted)?;
+    let symbols: Vec<String> = out.program.symbols.keys().cloned().collect();
+    let mut m = pc_sim::Machine::new(config.clone(), out.program)?;
+    let trace_cycles: Option<u64> = flag_value(args, "--trace").map(|s| s.parse()).transpose()?;
+    if trace_cycles.is_some() {
+        m.enable_trace();
+    }
+    let stats = m.run(100_000_000)?;
+    println!(
+        "ran {} cycles, {} ops, {} threads",
+        stats.cycles, stats.ops_issued, stats.threads_spawned
+    );
+    for name in symbols {
+        let vals = m.read_global(&name)?;
+        let shown: Vec<String> = vals.iter().take(16).map(|v| v.to_string()).collect();
+        let ell = if vals.len() > 16 { " …" } else { "" };
+        println!("{name} = [{}{ell}]", shown.join(", "));
+    }
+    if let Some(n) = trace_cycles {
+        println!(
+            "\n{}",
+            pc_sim::trace::render_interleaving(&config, m.trace(), 0..n)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_tables(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let which = args.first().map(String::as_str).unwrap_or("");
+    let want = |k: &str| which.is_empty() || which == k;
+    if want("table2") {
+        println!("{}", baseline::run()?.table2().render());
+    }
+    if want("fig5") {
+        println!("{}", baseline::run()?.fig5().render());
+    }
+    if want("table3") {
+        println!("{}", interference::run()?.render());
+    }
+    if want("fig6") {
+        println!("{}", comm::run()?.render());
+    }
+    if want("fig7") {
+        println!("{}", latency::run()?.render());
+    }
+    if want("fig8") {
+        println!("{}", mix::run()?.render());
+    }
+    if want("ablations") {
+        for study in ablation::run_all()? {
+            println!("{}", study.render());
+        }
+    }
+    if want("registers") {
+        println!("{}", registers::run()?.render());
+    }
+    if want("scaling") {
+        println!("{}", scaling::run()?.render());
+    }
+    Ok(())
+}

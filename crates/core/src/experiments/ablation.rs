@@ -1,0 +1,476 @@
+//! Ablations of the design choices DESIGN.md calls out — not figures
+//! from the paper, but studies of the mechanisms behind its results:
+//!
+//! * **slip** — intra-row slip (Figure 1's A3/A4 example) vs strict
+//!   lockstep VLIW issue;
+//! * **arbitration** — round-robin vs fixed-priority unit arbitration;
+//! * **dual destinations** — the "two simultaneous register
+//!   destinations" budget vs one and three;
+//! * **writeback buffering** — per-unit result buffering under a
+//!   restricted interconnect.
+
+use crate::benchmarks::Benchmark;
+use crate::mode::MachineMode;
+use crate::report::{f2, Table};
+use crate::runner::{run_benchmark, RunError};
+use pc_isa::{ArbitrationPolicy, InterconnectScheme, MachineConfig};
+
+/// One named configuration point of an ablation.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Benchmark name.
+    pub bench: String,
+    /// Configuration label.
+    pub variant: String,
+    /// Cycle count.
+    pub cycles: u64,
+}
+
+/// Results of one ablation study.
+#[derive(Debug, Clone)]
+pub struct AblationResults {
+    /// Study name.
+    pub name: &'static str,
+    /// All measurements.
+    pub rows: Vec<AblationRow>,
+}
+
+impl AblationResults {
+    /// Cycles for one point.
+    pub fn cycles(&self, bench: &str, variant: &str) -> Option<u64> {
+        self.rows
+            .iter()
+            .find(|r| r.bench == bench && r.variant == variant)
+            .map(|r| r.cycles)
+    }
+
+    /// Ratio of one variant to another for a benchmark.
+    pub fn ratio(&self, bench: &str, variant: &str, baseline: &str) -> Option<f64> {
+        Some(self.cycles(bench, variant)? as f64 / self.cycles(bench, baseline)? as f64)
+    }
+
+    /// Renders the study.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            format!("Ablation — {}", self.name),
+            &["Benchmark", "Variant", "#Cycles", "vs first"],
+        );
+        let mut first: Option<(String, u64)> = None;
+        for r in &self.rows {
+            let base = match &first {
+                Some((b, c)) if *b == r.bench => *c,
+                _ => {
+                    first = Some((r.bench.clone(), r.cycles));
+                    r.cycles
+                }
+            };
+            t.row(vec![
+                r.bench.clone(),
+                r.variant.clone(),
+                r.cycles.to_string(),
+                f2(r.cycles as f64 / base as f64),
+            ]);
+        }
+        t.render()
+    }
+}
+
+fn sweep(
+    name: &'static str,
+    benches: &[Benchmark],
+    mode: MachineMode,
+    variants: &[(&str, MachineConfig)],
+) -> Result<AblationResults, RunError> {
+    let mut rows = Vec::new();
+    for b in benches {
+        for (label, config) in variants {
+            let out = run_benchmark(b, mode, config.clone())?;
+            rows.push(AblationRow {
+                bench: b.name.to_string(),
+                variant: label.to_string(),
+                cycles: out.stats.cycles,
+            });
+        }
+    }
+    Ok(AblationResults { name, rows })
+}
+
+/// Intra-row slip vs strict lockstep issue, Coupled mode.
+///
+/// # Errors
+/// Propagates pipeline failures.
+pub fn slip(benches: &[Benchmark]) -> Result<AblationResults, RunError> {
+    sweep(
+        "intra-row slip vs lockstep issue (Coupled)",
+        benches,
+        MachineMode::Coupled,
+        &[
+            ("slip", MachineConfig::baseline()),
+            ("lockstep", MachineConfig::baseline().with_lockstep_issue(true)),
+        ],
+    )
+}
+
+/// Round-robin vs fixed-priority arbitration, Coupled mode.
+///
+/// # Errors
+/// Propagates pipeline failures.
+pub fn arbitration(benches: &[Benchmark]) -> Result<AblationResults, RunError> {
+    sweep(
+        "unit arbitration policy (Coupled)",
+        benches,
+        MachineMode::Coupled,
+        &[
+            (
+                "round-robin",
+                MachineConfig::baseline().with_arbitration(ArbitrationPolicy::RoundRobin),
+            ),
+            (
+                "fixed-priority",
+                MachineConfig::baseline().with_arbitration(ArbitrationPolicy::FixedPriority),
+            ),
+        ],
+    )
+}
+
+/// Destination-register budget (1, the paper's 2, and 3), Coupled mode.
+/// With a single destination every cross-cluster value costs an explicit
+/// move.
+///
+/// # Errors
+/// Propagates pipeline failures.
+pub fn dual_destinations(benches: &[Benchmark]) -> Result<AblationResults, RunError> {
+    sweep(
+        "destination-register budget (Coupled)",
+        benches,
+        MachineMode::Coupled,
+        &[
+            ("1 dst", MachineConfig::baseline().with_max_dsts(1)),
+            ("2 dsts", MachineConfig::baseline().with_max_dsts(2)),
+            ("3 dsts", MachineConfig::baseline().with_max_dsts(3)),
+        ],
+    )
+}
+
+/// Writeback-buffer depth under the Tri-Port interconnect, Coupled mode.
+///
+/// # Errors
+/// Propagates pipeline failures.
+pub fn wb_buffering(benches: &[Benchmark]) -> Result<AblationResults, RunError> {
+    let base = || MachineConfig::baseline().with_interconnect(InterconnectScheme::TriPort);
+    sweep(
+        "writeback buffer depth under Tri-Port (Coupled)",
+        benches,
+        MachineMode::Coupled,
+        &[
+            ("depth 1", base().with_wb_buffer(1)),
+            ("depth 2", base().with_wb_buffer(2)),
+            ("depth 4", base().with_wb_buffer(4)),
+            ("depth 8", base().with_wb_buffer(8)),
+        ],
+    )
+}
+
+/// Arithmetic-cluster count 1/2/4 (Coupled mode) — the paper's intro:
+/// coupling is "useful in machines ranging from workstations based upon a
+/// single multi-ALU node to massively parallel machines"; this sweeps the
+/// node's width.
+///
+/// # Errors
+/// Propagates pipeline failures.
+pub fn cluster_count(benches: &[Benchmark]) -> Result<AblationResults, RunError> {
+    let node = |n: usize| {
+        let mut clusters = vec![pc_isa::ClusterConfig::arithmetic(); n];
+        clusters.push(pc_isa::ClusterConfig::branch());
+        MachineConfig::new(clusters)
+    };
+    sweep(
+        "arithmetic cluster count (Coupled)",
+        benches,
+        MachineMode::Coupled,
+        &[
+            ("1 cluster (workstation)", node(1)),
+            ("2 clusters", node(2)),
+            ("4 clusters", node(4)),
+        ],
+    )
+}
+
+/// Bank conflicts on vs off (Coupled mode) — the paper assumes "a memory
+/// operation can always access the necessary bank"; this measures what
+/// that idealization hides with 4 or 8 interleaved banks.
+///
+/// # Errors
+/// Propagates pipeline failures.
+pub fn bank_conflicts(benches: &[Benchmark]) -> Result<AblationResults, RunError> {
+    let banked = |n| {
+        MachineConfig::baseline()
+            .with_memory(pc_isa::MemoryModel::min().with_banks(n))
+    };
+    sweep(
+        "memory bank conflicts (Coupled)",
+        benches,
+        MachineMode::Coupled,
+        &[
+            ("no conflicts", MachineConfig::baseline()),
+            ("8 banks", banked(8)),
+            ("4 banks", banked(4)),
+        ],
+    )
+}
+
+/// Branch-cluster count (Coupled mode) — the paper: "simulation showed
+/// that a single branch unit is sufficient" (§4, Number and Mix).
+///
+/// # Errors
+/// Propagates pipeline failures.
+pub fn branch_units(benches: &[Benchmark]) -> Result<AblationResults, RunError> {
+    let one_branch = {
+        let mut clusters = vec![pc_isa::ClusterConfig::arithmetic(); 4];
+        clusters.push(pc_isa::ClusterConfig::branch());
+        MachineConfig::new(clusters)
+    };
+    sweep(
+        "branch clusters (Coupled)",
+        benches,
+        MachineMode::Coupled,
+        &[
+            ("2 branch clusters", MachineConfig::baseline()),
+            ("1 branch cluster", one_branch),
+        ],
+    )
+}
+
+/// Floating-point pipeline depth 1–4 (Coupled mode) — "a unit may be
+/// pipelined to arbitrary depth" (§2); multithreading hides the deeper
+/// pipelines much as it hides memory latency.
+///
+/// # Errors
+/// Propagates pipeline failures.
+pub fn fpu_depth(benches: &[Benchmark]) -> Result<AblationResults, RunError> {
+    sweep(
+        "floating-point pipeline depth (Coupled)",
+        benches,
+        MachineMode::Coupled,
+        &[
+            ("fpu lat 1", MachineConfig::baseline()),
+            (
+                "fpu lat 2",
+                MachineConfig::baseline().with_unit_latency(pc_isa::UnitClass::Float, 2),
+            ),
+            (
+                "fpu lat 4",
+                MachineConfig::baseline().with_unit_latency(pc_isa::UnitClass::Float, 4),
+            ),
+        ],
+    )
+}
+
+/// Compiler optimizations on vs off (Coupled mode) — the paper's
+/// compiler "performs several optimizations"; this measures what they
+/// buy end to end.
+///
+/// # Errors
+/// Propagates pipeline failures.
+pub fn optimizer(benches: &[Benchmark]) -> Result<AblationResults, RunError> {
+    let mut rows = Vec::new();
+    for b in benches {
+        for (label, optimize) in [("optimized", true), ("naive", false)] {
+            let out = crate::runner::run_benchmark_with_options(
+                b,
+                MachineMode::Coupled,
+                MachineConfig::baseline(),
+                pc_compiler::CompileOptions { optimize, licm: false },
+            )?;
+            rows.push(AblationRow {
+                bench: b.name.to_string(),
+                variant: label.to_string(),
+                cycles: out.stats.cycles,
+            });
+        }
+    }
+    Ok(AblationResults {
+        name: "compiler optimizations (Coupled)",
+        rows,
+    })
+}
+
+/// Loop-invariant code motion on vs off — the §7 "better compilation"
+/// extension; the paper's own compiler never moves code across basic
+/// blocks. Run in STS mode where static schedule quality matters most.
+///
+/// # Errors
+/// Propagates pipeline failures.
+pub fn licm(benches: &[Benchmark]) -> Result<AblationResults, RunError> {
+    let mut rows = Vec::new();
+    for b in benches {
+        for (label, licm) in [("paper-faithful", false), ("with LICM", true)] {
+            let out = crate::runner::run_benchmark_with_options(
+                b,
+                MachineMode::Sts,
+                MachineConfig::baseline(),
+                pc_compiler::CompileOptions {
+                    optimize: true,
+                    licm,
+                },
+            )?;
+            rows.push(AblationRow {
+                bench: b.name.to_string(),
+                variant: label.to_string(),
+                cycles: out.stats.cycles,
+            });
+        }
+    }
+    Ok(AblationResults {
+        name: "loop-invariant code motion (STS)",
+        rows,
+    })
+}
+
+/// Runs every ablation on the fast benchmarks.
+///
+/// # Errors
+/// Propagates pipeline failures.
+pub fn run_all() -> Result<Vec<AblationResults>, RunError> {
+    let benches = vec![
+        crate::benchmarks::matrix(),
+        crate::benchmarks::fft(),
+        crate::benchmarks::model(),
+    ];
+    Ok(vec![
+        slip(&benches)?,
+        arbitration(&benches)?,
+        dual_destinations(&benches)?,
+        wb_buffering(&benches)?,
+        branch_units(&benches)?,
+        cluster_count(&benches)?,
+        bank_conflicts(&benches)?,
+        fpu_depth(&benches)?,
+        optimizer(&benches)?,
+        licm(&benches)?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    #[test]
+    fn slip_beats_lockstep() {
+        let r = slip(&[benchmarks::matrix()]).unwrap();
+        let with = r.cycles("Matrix", "slip").unwrap();
+        let without = r.cycles("Matrix", "lockstep").unwrap();
+        assert!(
+            without >= with,
+            "lockstep {without} should not beat slip {with}"
+        );
+        assert!(r.render().contains("lockstep"));
+    }
+
+    #[test]
+    fn arbitration_policies_both_validate() {
+        let r = arbitration(&[benchmarks::fft()]).unwrap();
+        assert!(r.cycles("FFT", "round-robin").is_some());
+        assert!(r.cycles("FFT", "fixed-priority").is_some());
+    }
+
+    #[test]
+    fn single_destination_costs_cycles() {
+        let r = dual_destinations(&[benchmarks::matrix()]).unwrap();
+        let one = r.cycles("Matrix", "1 dst").unwrap();
+        let two = r.cycles("Matrix", "2 dsts").unwrap();
+        assert!(one >= two, "1 dst {one} vs 2 dsts {two}");
+        // A third destination buys little on the baseline machine — it
+        // can even cost slightly (wider fanout keeps more registers
+        // in-flight), supporting the paper's choice of two.
+        let three = r.cycles("Matrix", "3 dsts").unwrap();
+        let gain = two as f64 / three as f64;
+        assert!((0.8..1.3).contains(&gain), "2->3 dst gain {gain}");
+    }
+
+    #[test]
+    fn wider_nodes_speed_up_threaded_code() {
+        let r = cluster_count(&[benchmarks::matrix()]).unwrap();
+        let one = r.cycles("Matrix", "1 cluster (workstation)").unwrap();
+        let two = r.cycles("Matrix", "2 clusters").unwrap();
+        let four = r.cycles("Matrix", "4 clusters").unwrap();
+        assert!(one > two, "1 cluster {one} vs 2 {two}");
+        assert!(two > four, "2 clusters {two} vs 4 {four}");
+        // Not perfectly linear: the sequential spawn/join section remains.
+        assert!((four as f64) > (one as f64) / 4.5, "superlinear? {one} -> {four}");
+    }
+
+    #[test]
+    fn bank_conflicts_cost_cycles() {
+        // At benchmark scale, second-order arbitration effects can swing a
+        // couple of percent either way; the cycle assertion uses slack and
+        // the mechanism is verified through the wait counter.
+        let r = bank_conflicts(&[benchmarks::matrix()]).unwrap();
+        let ideal = r.cycles("Matrix", "no conflicts").unwrap() as f64;
+        let four = r.cycles("Matrix", "4 banks").unwrap() as f64;
+        assert!(four >= 0.95 * ideal, "4 banks {four} vs ideal {ideal}");
+        let out = crate::runner::run_benchmark(
+            &benchmarks::matrix(),
+            MachineMode::Coupled,
+            MachineConfig::baseline()
+                .with_memory(pc_isa::MemoryModel::min().with_banks(2)),
+        )
+        .unwrap();
+        assert!(
+            out.stats.mem.bank_wait_cycles > 0,
+            "2-bank Matrix should see bank waits"
+        );
+    }
+
+    #[test]
+    fn one_branch_cluster_is_nearly_sufficient() {
+        let r = branch_units(&[benchmarks::matrix()]).unwrap();
+        let two = r.cycles("Matrix", "2 branch clusters").unwrap();
+        let one = r.cycles("Matrix", "1 branch cluster").unwrap();
+        // Paper: a single branch unit suffices; allow modest slack.
+        let ratio = one as f64 / two as f64;
+        assert!((0.8..1.35).contains(&ratio), "1 vs 2 branch clusters: {ratio}");
+    }
+
+    #[test]
+    fn deeper_fpu_pipelines_cost_but_validate() {
+        let r = fpu_depth(&[benchmarks::matrix()]).unwrap();
+        let d1 = r.cycles("Matrix", "fpu lat 1").unwrap();
+        let d4 = r.cycles("Matrix", "fpu lat 4").unwrap();
+        assert!(d4 > d1, "lat 4 {d4} vs lat 1 {d1}");
+        // Multithreading keeps the cost well below the 4x latency.
+        assert!((d4 as f64) < 3.0 * d1 as f64, "lat 4 {d4} vs lat 1 {d1}");
+    }
+
+    #[test]
+    fn licm_helps_or_holds_and_validates() {
+        // run_benchmark validates numerically in both configurations.
+        let r = licm(&[benchmarks::matrix(), benchmarks::lud()]).unwrap();
+        for bench in ["Matrix", "LUD"] {
+            let faithful = r.cycles(bench, "paper-faithful").unwrap() as f64;
+            let hoisted = r.cycles(bench, "with LICM").unwrap() as f64;
+            assert!(
+                hoisted <= faithful * 1.05,
+                "{bench}: LICM {hoisted} vs faithful {faithful}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimizations_pay_and_never_change_results() {
+        // run_benchmark validates numerically either way.
+        let r = optimizer(&[benchmarks::matrix()]).unwrap();
+        let opt = r.cycles("Matrix", "optimized").unwrap();
+        let naive = r.cycles("Matrix", "naive").unwrap();
+        assert!(naive > opt, "naive {naive} vs optimized {opt}");
+    }
+
+    #[test]
+    fn deeper_writeback_buffers_help_under_contention() {
+        let r = wb_buffering(&[benchmarks::matrix()]).unwrap();
+        let d1 = r.cycles("Matrix", "depth 1").unwrap();
+        let d8 = r.cycles("Matrix", "depth 8").unwrap();
+        assert!(d8 <= d1, "depth 8 {d8} vs depth 1 {d1}");
+    }
+}

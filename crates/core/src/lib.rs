@@ -1,0 +1,31 @@
+//! # coupling — processor coupling, end to end
+//!
+//! The paper's top-level artifact: the four benchmarks (**Matrix**,
+//! **FFT**, **LUD**, **Model**) written in the source language of
+//! [`pc_compiler`], the five machine models (**SEQ**, **STS**, **Ideal**,
+//! **TPE**, **Coupled**), a runner that compiles + simulates + *validates
+//! numerically* against Rust reference implementations, and the experiment
+//! harness that regenerates every table and figure of the evaluation
+//! (Table 2/Figure 4, Figure 5, Table 3, Figures 6–8).
+//!
+//! ```no_run
+//! use coupling::{benchmarks, run_benchmark, MachineMode};
+//! use pc_isa::MachineConfig;
+//!
+//! let bench = benchmarks::matrix();
+//! let out = run_benchmark(&bench, MachineMode::Coupled, MachineConfig::baseline()).unwrap();
+//! assert!(out.stats.cycles > 0); // numerically validated inside
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+pub mod experiments;
+pub mod mode;
+pub mod report;
+pub mod runner;
+
+pub use benchmarks::Benchmark;
+pub use mode::MachineMode;
+pub use runner::{run_benchmark, RunError, RunOutcome};

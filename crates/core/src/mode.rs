@@ -1,0 +1,104 @@
+//! The five machine models of the paper's evaluation (§3 "Simulation
+//! Modes").
+
+use pc_compiler::ScheduleMode;
+use std::fmt;
+
+/// Which machine model a benchmark runs under. Each mode pairs a source
+/// variant (sequential / threaded / hand-unrolled ideal) with a compiler
+/// cluster restriction:
+///
+/// | Mode | Source | Clusters per thread |
+/// |---|---|---|
+/// | `Seq` | sequential | one (statically scheduled uniprocessor) |
+/// | `Sts` | sequential | all (VLIW without trace scheduling) |
+/// | `Ideal` | fully unrolled | all (lower bound; Matrix & FFT only) |
+/// | `Tpe` | threaded | one per thread (multiprocessor-like) |
+/// | `Coupled` | threaded | all (processor coupling) |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MachineMode {
+    /// Sequential: single thread on a single cluster.
+    Seq,
+    /// Statically scheduled: single thread, all clusters.
+    Sts,
+    /// Ideal: fully unrolled single thread, all clusters.
+    Ideal,
+    /// Thread-per-element: threads pinned one cluster each.
+    Tpe,
+    /// Processor coupling: threads across all clusters.
+    Coupled,
+}
+
+impl MachineMode {
+    /// All modes in the paper's presentation order.
+    pub fn all() -> [MachineMode; 5] {
+        [
+            MachineMode::Seq,
+            MachineMode::Sts,
+            MachineMode::Tpe,
+            MachineMode::Coupled,
+            MachineMode::Ideal,
+        ]
+    }
+
+    /// The compiler's cluster restriction for this mode.
+    pub fn schedule_mode(self) -> ScheduleMode {
+        match self {
+            MachineMode::Seq | MachineMode::Tpe => ScheduleMode::Single,
+            MachineMode::Sts | MachineMode::Ideal | MachineMode::Coupled => {
+                ScheduleMode::Unrestricted
+            }
+        }
+    }
+
+    /// True when this mode runs the threaded source.
+    pub fn is_threaded(self) -> bool {
+        matches!(self, MachineMode::Tpe | MachineMode::Coupled)
+    }
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MachineMode::Seq => "SEQ",
+            MachineMode::Sts => "STS",
+            MachineMode::Ideal => "Ideal",
+            MachineMode::Tpe => "TPE",
+            MachineMode::Coupled => "Coupled",
+        }
+    }
+}
+
+impl fmt::Display for MachineMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_modes_match_paper() {
+        assert_eq!(MachineMode::Seq.schedule_mode(), ScheduleMode::Single);
+        assert_eq!(MachineMode::Tpe.schedule_mode(), ScheduleMode::Single);
+        assert_eq!(MachineMode::Sts.schedule_mode(), ScheduleMode::Unrestricted);
+        assert_eq!(MachineMode::Coupled.schedule_mode(), ScheduleMode::Unrestricted);
+        assert_eq!(MachineMode::Ideal.schedule_mode(), ScheduleMode::Unrestricted);
+    }
+
+    #[test]
+    fn threaded_flags() {
+        assert!(MachineMode::Tpe.is_threaded());
+        assert!(MachineMode::Coupled.is_threaded());
+        assert!(!MachineMode::Seq.is_threaded());
+        assert!(!MachineMode::Ideal.is_threaded());
+    }
+
+    #[test]
+    fn labels_unique() {
+        let labels: std::collections::HashSet<_> =
+            MachineMode::all().iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), 5);
+    }
+}

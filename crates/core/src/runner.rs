@@ -1,0 +1,140 @@
+//! Compile → simulate → validate, for one benchmark under one machine
+//! mode and configuration.
+
+use crate::benchmarks::Benchmark;
+use crate::mode::MachineMode;
+use pc_compiler::{CompileError, SegmentInfo};
+use pc_isa::MachineConfig;
+use pc_sim::{Machine, RunStats, SimError};
+use std::fmt;
+
+/// Generous default cycle budget (the largest benchmark, LUD under Mem2,
+/// runs well under a million cycles).
+pub const CYCLE_LIMIT: u64 = 20_000_000;
+
+/// Everything a run produces.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Simulator statistics (cycle count, utilizations, probes, …).
+    pub stats: RunStats,
+    /// Compiler diagnostics per segment.
+    pub segments: Vec<SegmentInfo>,
+    /// Peak per-cluster register count over all segments.
+    pub peak_registers: u32,
+}
+
+/// Failures of the compile/simulate/validate pipeline.
+#[derive(Debug)]
+pub enum RunError {
+    /// The benchmark has no source for the requested mode (e.g. Ideal
+    /// LUD).
+    Unsupported {
+        /// Benchmark name.
+        bench: &'static str,
+        /// The mode without a source variant.
+        mode: MachineMode,
+    },
+    /// Compilation failed.
+    Compile(CompileError),
+    /// Simulation failed (deadlock, runtime error, cycle limit).
+    Sim(SimError),
+    /// The run finished but produced numerically wrong results.
+    Check(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Unsupported { bench, mode } => {
+                write!(f, "{bench} has no {mode} variant")
+            }
+            RunError::Compile(e) => write!(f, "compile error: {e}"),
+            RunError::Sim(e) => write!(f, "simulation error: {e}"),
+            RunError::Check(msg) => write!(f, "validation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<CompileError> for RunError {
+    fn from(e: CompileError) -> Self {
+        RunError::Compile(e)
+    }
+}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        RunError::Sim(e)
+    }
+}
+
+/// Runs `bench` under `mode` on `config`, validating the numerical output
+/// against the benchmark's Rust reference.
+///
+/// # Errors
+/// See [`RunError`].
+pub fn run_benchmark(
+    bench: &Benchmark,
+    mode: MachineMode,
+    config: MachineConfig,
+) -> Result<RunOutcome, RunError> {
+    run_benchmark_with_options(bench, mode, config, pc_compiler::CompileOptions::default())
+}
+
+/// [`run_benchmark`] with explicit compiler options (used by the
+/// optimizer ablation and differential tests).
+///
+/// # Errors
+/// See [`RunError`].
+pub fn run_benchmark_with_options(
+    bench: &Benchmark,
+    mode: MachineMode,
+    config: MachineConfig,
+    options: pc_compiler::CompileOptions,
+) -> Result<RunOutcome, RunError> {
+    let src = bench.source(mode).ok_or(RunError::Unsupported {
+        bench: bench.name,
+        mode,
+    })?;
+    let out = pc_compiler::compile_with_options(src, &config, mode.schedule_mode(), options)?;
+    let peak = out.peak_registers();
+    let mut machine = Machine::new(config, out.program)?;
+    (bench.setup)(&mut machine)?;
+    let stats = machine.run(CYCLE_LIMIT)?;
+    (bench.check)(&mut machine).map_err(RunError::Check)?;
+    Ok(RunOutcome {
+        stats,
+        segments: out.info,
+        peak_registers: peak,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    #[test]
+    fn unsupported_mode_is_reported() {
+        let b = benchmarks::lud();
+        let err = run_benchmark(&b, MachineMode::Ideal, MachineConfig::baseline()).unwrap_err();
+        assert!(matches!(err, RunError::Unsupported { .. }));
+        assert!(err.to_string().contains("Ideal"));
+    }
+
+    #[test]
+    fn matrix_runs_and_validates_in_seq_mode() {
+        let b = benchmarks::matrix();
+        let out = run_benchmark(&b, MachineMode::Seq, MachineConfig::baseline()).unwrap();
+        assert!(out.stats.cycles > 100, "cycles {}", out.stats.cycles);
+        assert_eq!(out.stats.threads_spawned, 1);
+    }
+
+    #[test]
+    fn matrix_runs_and_validates_in_coupled_mode() {
+        let b = benchmarks::matrix();
+        let out = run_benchmark(&b, MachineMode::Coupled, MachineConfig::baseline()).unwrap();
+        assert_eq!(out.stats.threads_spawned, 10); // main + 9 rows
+    }
+}

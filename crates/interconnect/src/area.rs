@@ -1,0 +1,156 @@
+//! Interconnect + register-file area model (paper §4 and §6).
+//!
+//! The paper argues: "Tri-port can be implemented using only 2 global buses
+//! per cluster. The number of buses to implement a fully connected scheme,
+//! on the other hand, is proportional to the number of function units times
+//! the number of clusters. […] In a four cluster system the interconnection
+//! and register file area for Tri-Port is 28% that of complete connection."
+//!
+//! We model that argument directly:
+//!
+//! * **buses**: fully connected needs one bus per (writing unit × cluster);
+//!   restricted schemes need their fixed per-cluster (or global) bus count.
+//! * **register files**: SRAM cell area grows quadratically with the total
+//!   port count (each extra port adds a word line *and* a bit line), the
+//!   standard VLSI approximation. Read ports are fixed by the units in the
+//!   cluster; write ports vary by scheme.
+
+use pc_isa::{InterconnectScheme, MachineConfig, UnitClass};
+
+/// Relative area units per bus track crossing the machine.
+const BUS_TRACK: f64 = 6.0;
+/// Relative area of one register cell with one read and one write port.
+const CELL: f64 = 1.0;
+/// Registers modeled per file (a constant factor; only ratios matter).
+const REGS_PER_FILE: f64 = 32.0;
+
+/// Area breakdown for one scheme on one machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaEstimate {
+    /// Bus track area.
+    pub buses: f64,
+    /// Register file area.
+    pub regfiles: f64,
+}
+
+impl AreaEstimate {
+    /// Total area.
+    pub fn total(&self) -> f64 {
+        self.buses + self.regfiles
+    }
+}
+
+/// Number of global buses the scheme requires for `config`.
+pub fn bus_count(config: &MachineConfig, scheme: InterconnectScheme) -> usize {
+    let clusters = config.clusters().len();
+    let writers = config
+        .units()
+        .iter()
+        .filter(|u| u.class != UnitClass::Branch)
+        .count()
+        .max(1);
+    match scheme {
+        // one bus per writer per reachable register file
+        InterconnectScheme::Full => writers * clusters,
+        InterconnectScheme::TriPort => 2 * clusters,
+        InterconnectScheme::DualPort => clusters,
+        InterconnectScheme::SinglePort => clusters,
+        InterconnectScheme::SharedBus => 1,
+    }
+}
+
+/// Write ports per register file under the scheme.
+pub fn write_ports(config: &MachineConfig, scheme: InterconnectScheme) -> usize {
+    match scheme {
+        // every writing unit can write every file without conflict
+        InterconnectScheme::Full => config
+            .units()
+            .iter()
+            .filter(|u| u.class != UnitClass::Branch)
+            .count()
+            .max(1),
+        InterconnectScheme::TriPort => 3,
+        InterconnectScheme::DualPort | InterconnectScheme::SharedBus => 2,
+        InterconnectScheme::SinglePort => 1,
+    }
+}
+
+/// Estimates interconnect + register file area for `config` under `scheme`.
+pub fn estimate(config: &MachineConfig, scheme: InterconnectScheme) -> AreaEstimate {
+    let clusters = config.clusters().len() as f64;
+    let buses = bus_count(config, scheme) as f64 * BUS_TRACK;
+    // Each cluster's units contribute read ports; write ports per scheme.
+    let read_ports = {
+        let units: usize = config.units().len();
+        (units as f64 / clusters).max(1.0) * 2.0
+    };
+    let wp = write_ports(config, scheme) as f64;
+    let ports = read_ports + wp;
+    let regfiles = clusters * REGS_PER_FILE * CELL * (ports / 3.0).powi(2);
+    AreaEstimate { buses, regfiles }
+}
+
+/// Ratio of a scheme's area to the fully connected area (the paper's
+/// headline number: ≈ 0.28 for Tri-Port on the four-cluster baseline).
+pub fn ratio_to_full(config: &MachineConfig, scheme: InterconnectScheme) -> f64 {
+    estimate(config, scheme).total() / estimate(config, InterconnectScheme::Full).total()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_has_most_buses() {
+        let mc = MachineConfig::baseline();
+        let full = bus_count(&mc, InterconnectScheme::Full);
+        for s in [
+            InterconnectScheme::TriPort,
+            InterconnectScheme::DualPort,
+            InterconnectScheme::SinglePort,
+            InterconnectScheme::SharedBus,
+        ] {
+            assert!(bus_count(&mc, s) < full, "{s}");
+        }
+        assert_eq!(bus_count(&mc, InterconnectScheme::SharedBus), 1);
+    }
+
+    #[test]
+    fn triport_ratio_matches_paper_ballpark() {
+        // Paper: 28% for the four-cluster system. Our analytic model should
+        // land in the same neighbourhood.
+        let mc = MachineConfig::baseline();
+        let r = ratio_to_full(&mc, InterconnectScheme::TriPort);
+        assert!((0.15..0.45).contains(&r), "tri-port ratio {r}");
+    }
+
+    #[test]
+    fn area_ordering_follows_port_budget() {
+        let mc = MachineConfig::baseline();
+        let full = estimate(&mc, InterconnectScheme::Full).total();
+        let tri = estimate(&mc, InterconnectScheme::TriPort).total();
+        let dual = estimate(&mc, InterconnectScheme::DualPort).total();
+        let single = estimate(&mc, InterconnectScheme::SinglePort).total();
+        assert!(full > tri && tri > dual && dual > single);
+    }
+
+    #[test]
+    fn write_ports_per_scheme() {
+        let mc = MachineConfig::baseline();
+        assert_eq!(write_ports(&mc, InterconnectScheme::Full), 12);
+        assert_eq!(write_ports(&mc, InterconnectScheme::TriPort), 3);
+        assert_eq!(write_ports(&mc, InterconnectScheme::DualPort), 2);
+        assert_eq!(write_ports(&mc, InterconnectScheme::SinglePort), 1);
+        assert_eq!(write_ports(&mc, InterconnectScheme::SharedBus), 2);
+    }
+
+    #[test]
+    fn totals_are_positive() {
+        let mc = MachineConfig::with_mix(2, 2);
+        for s in InterconnectScheme::all() {
+            let e = estimate(&mc, s);
+            assert!(e.buses > 0.0 && e.regfiles > 0.0);
+            assert_eq!(e.total(), e.buses + e.regfiles);
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! # pc-xconn — the unit interconnection network
+//!
+//! Function units place results directly into register files — their own
+//! cluster's or a remote cluster's. Because "the number of buses and
+//! register input ports required to support fully connected function units
+//! is prohibitively expensive" (paper §4, *Restricting Communication*),
+//! the network's write-port and bus budget is configurable. This crate
+//! implements per-cycle arbitration for the five schemes of Figure 6
+//! ([`pc_isa::InterconnectScheme`]) plus the area model behind the paper's
+//! "Tri-Port is 28% of full connection" claim.
+//!
+//! The simulator collects all register writes that want to retire in a
+//! cycle and calls [`Interconnect::arbitrate`]; denied writes retry on a
+//! later cycle (stalling their function unit's writeback slot).
+//!
+//! ```
+//! use pc_isa::{ClusterId, InterconnectScheme};
+//! use pc_xconn::{Interconnect, WriteReq};
+//!
+//! let mut net = Interconnect::new(InterconnectScheme::SinglePort, 4);
+//! let reqs = vec![
+//!     WriteReq { src_cluster: ClusterId(0), dst_cluster: ClusterId(1) },
+//!     WriteReq { src_cluster: ClusterId(2), dst_cluster: ClusterId(1) },
+//! ];
+//! let grants = net.arbitrate(&reqs);
+//! assert_eq!(grants, vec![true, false]); // one write port on cluster 1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+
+use pc_isa::{ClusterId, InterconnectScheme};
+
+/// One register write wanting to retire this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteReq {
+    /// Cluster of the producing function unit.
+    pub src_cluster: ClusterId,
+    /// Cluster whose register file is written.
+    pub dst_cluster: ClusterId,
+}
+
+impl WriteReq {
+    /// True when the write stays within the producing cluster.
+    pub fn is_local(&self) -> bool {
+        self.src_cluster == self.dst_cluster
+    }
+}
+
+/// Contention statistics accumulated across a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct XconnStats {
+    /// Writes granted.
+    pub grants: u64,
+    /// Write attempts denied (each retry counts again).
+    pub denials: u64,
+    /// Granted writes that crossed clusters.
+    pub remote_grants: u64,
+}
+
+impl XconnStats {
+    /// Fraction of attempts denied.
+    pub fn denial_rate(&self) -> f64 {
+        let total = self.grants + self.denials;
+        if total == 0 {
+            0.0
+        } else {
+            self.denials as f64 / total as f64
+        }
+    }
+}
+
+/// Per-cycle write-port / bus arbiter for one interconnect scheme.
+///
+/// Each register file has a total write-port budget; ports fed by global
+/// buses are additionally usable only for traffic that can reach them.
+/// A *local* writer sits next to the file and can drive any free port
+/// (including borrowing a globally bused one); a *remote* writer must
+/// arrive over a bus, so it can only use the bused ports:
+///
+/// | Scheme       | total ports/file | bused ports/file | machine-wide bus |
+/// |--------------|------------------|------------------|------------------|
+/// | Full         | unlimited        | unlimited        | —                |
+/// | Tri-Port     | 3                | 2                | —                |
+/// | Dual-Port    | 2                | 1                | —                |
+/// | Single-Port  | 1                | 1 ("any function unit can use the port") | — |
+/// | Shared-Bus   | 2                | 1                | ≤ 1 remote write/cycle |
+#[derive(Debug, Clone)]
+pub struct Interconnect {
+    scheme: InterconnectScheme,
+    n_clusters: usize,
+    stats: XconnStats,
+    // Scratch budgets, reset each arbitrate() call (one call per cycle).
+    total_used: Vec<u32>,
+    bused_used: Vec<u32>,
+}
+
+impl Interconnect {
+    /// Creates an arbiter for `n_clusters` register files.
+    pub fn new(scheme: InterconnectScheme, n_clusters: usize) -> Self {
+        Interconnect {
+            scheme,
+            n_clusters,
+            stats: XconnStats::default(),
+            total_used: vec![0; n_clusters],
+            bused_used: vec![0; n_clusters],
+        }
+    }
+
+    /// The scheme in force.
+    pub fn scheme(&self) -> InterconnectScheme {
+        self.scheme
+    }
+
+    /// `(total ports, bused ports)` per register file, or `None` for
+    /// unlimited (Full).
+    fn budget(&self) -> Option<(u32, u32)> {
+        match self.scheme {
+            InterconnectScheme::Full => None,
+            InterconnectScheme::TriPort => Some((3, 2)),
+            InterconnectScheme::DualPort => Some((2, 1)),
+            InterconnectScheme::SinglePort => Some((1, 1)),
+            InterconnectScheme::SharedBus => Some((2, 1)),
+        }
+    }
+
+    /// Arbitrates one cycle's write requests, in the order given (the
+    /// simulator passes oldest-first, making starvation impossible).
+    /// Returns one grant flag per request.
+    ///
+    /// # Panics
+    /// Panics if a request names a cluster outside `0..n_clusters`.
+    pub fn arbitrate(&mut self, reqs: &[WriteReq]) -> Vec<bool> {
+        self.total_used.iter_mut().for_each(|u| *u = 0);
+        self.bused_used.iter_mut().for_each(|u| *u = 0);
+        let mut shared_bus_used = false;
+        let mut grants = Vec::with_capacity(reqs.len());
+        for r in reqs {
+            let d = r.dst_cluster.0 as usize;
+            assert!(d < self.n_clusters, "cluster {d} out of range");
+            let ok = match self.budget() {
+                None => true,
+                Some((total, bused)) => {
+                    if self.total_used[d] >= total {
+                        false
+                    } else if r.is_local() {
+                        // Local writers drive any free port; prefer the
+                        // non-bused one so buses stay free for remotes.
+                        let non_bused = total - bused;
+                        if self.total_used[d] - self.bused_used[d] < non_bused {
+                            self.total_used[d] += 1;
+                            true
+                        } else if self.bused_used[d] < bused
+                            && (self.scheme != InterconnectScheme::SharedBus
+                                || !shared_bus_used)
+                        {
+                            // Borrow a bused port (over the shared bus if
+                            // that's the scheme's transport).
+                            if self.scheme == InterconnectScheme::SharedBus {
+                                shared_bus_used = true;
+                            }
+                            self.bused_used[d] += 1;
+                            self.total_used[d] += 1;
+                            true
+                        } else {
+                            false
+                        }
+                    } else {
+                        // Remote writers need a bused port (and the shared
+                        // bus, when that is the transport).
+                        if self.bused_used[d] < bused
+                            && (self.scheme != InterconnectScheme::SharedBus
+                                || !shared_bus_used)
+                        {
+                            if self.scheme == InterconnectScheme::SharedBus {
+                                shared_bus_used = true;
+                            }
+                            self.bused_used[d] += 1;
+                            self.total_used[d] += 1;
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                }
+            };
+            if ok {
+                self.stats.grants += 1;
+                if !r.is_local() {
+                    self.stats.remote_grants += 1;
+                }
+            } else {
+                self.stats.denials += 1;
+            }
+            grants.push(ok);
+        }
+        grants
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> XconnStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(src: u16, dst: u16) -> WriteReq {
+        WriteReq {
+            src_cluster: ClusterId(src),
+            dst_cluster: ClusterId(dst),
+        }
+    }
+
+    #[test]
+    fn full_grants_everything() {
+        let mut net = Interconnect::new(InterconnectScheme::Full, 4);
+        let reqs: Vec<_> = (0..16).map(|i| req(i % 4, (i + 1) % 4)).collect();
+        assert!(net.arbitrate(&reqs).into_iter().all(|g| g));
+        assert_eq!(net.stats().denials, 0);
+        assert_eq!(net.stats().grants, 16);
+    }
+
+    #[test]
+    fn triport_is_three_ports_with_two_bused() {
+        let mut net = Interconnect::new(InterconnectScheme::TriPort, 4);
+        let reqs = vec![
+            req(1, 1), // local on the non-bused port: ok
+            req(1, 1), // second local borrows a bused port: ok
+            req(0, 1), // remote on the last bused port: ok
+            req(2, 1), // no ports left: denied
+            req(3, 1), // denied
+        ];
+        assert_eq!(net.arbitrate(&reqs), vec![true, true, true, false, false]);
+        // Remotes can never exceed the bused budget even when the file's
+        // total budget is free.
+        let reqs = vec![req(0, 1), req(2, 1), req(3, 1)];
+        assert_eq!(net.arbitrate(&reqs), vec![true, true, false]);
+    }
+
+    #[test]
+    fn dualport_allows_one_local_one_remote() {
+        let mut net = Interconnect::new(InterconnectScheme::DualPort, 4);
+        let reqs = vec![req(1, 1), req(0, 1), req(2, 1)];
+        assert_eq!(net.arbitrate(&reqs), vec![true, true, false]);
+    }
+
+    #[test]
+    fn singleport_contends_local_and_remote() {
+        let mut net = Interconnect::new(InterconnectScheme::SinglePort, 4);
+        let reqs = vec![req(1, 1), req(0, 1)];
+        assert_eq!(net.arbitrate(&reqs), vec![true, false]);
+        // Different register files don't interfere.
+        let reqs = vec![req(0, 1), req(0, 2), req(0, 3)];
+        assert_eq!(net.arbitrate(&reqs), vec![true, true, true]);
+    }
+
+    #[test]
+    fn shared_bus_is_machine_wide() {
+        let mut net = Interconnect::new(InterconnectScheme::SharedBus, 4);
+        // Two remote writes to *different* clusters still conflict: one bus.
+        let reqs = vec![req(0, 1), req(2, 3)];
+        assert_eq!(net.arbitrate(&reqs), vec![true, false]);
+        // Locals are unaffected by the bus.
+        let reqs = vec![req(0, 0), req(1, 1), req(2, 3)];
+        assert_eq!(net.arbitrate(&reqs), vec![true, true, true]);
+    }
+
+    #[test]
+    fn budgets_reset_each_cycle() {
+        let mut net = Interconnect::new(InterconnectScheme::SinglePort, 2);
+        assert_eq!(net.arbitrate(&[req(0, 0)]), vec![true]);
+        assert_eq!(net.arbitrate(&[req(0, 0)]), vec![true]);
+    }
+
+    #[test]
+    fn stats_track_denials_and_remotes() {
+        let mut net = Interconnect::new(InterconnectScheme::DualPort, 4);
+        net.arbitrate(&[req(0, 1), req(2, 1), req(3, 1)]);
+        let s = net.stats();
+        assert_eq!(s.grants, 1);
+        assert_eq!(s.denials, 2);
+        assert_eq!(s.remote_grants, 1);
+        assert!((s.denial_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn denial_rate_empty_is_zero() {
+        assert_eq!(XconnStats::default().denial_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_unknown_cluster() {
+        let mut net = Interconnect::new(InterconnectScheme::Full, 2);
+        net.arbitrate(&[req(0, 5)]);
+    }
+}

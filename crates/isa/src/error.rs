@@ -1,0 +1,84 @@
+//! Error type shared by ISA-level operations (semantics evaluation,
+//! program validation).
+
+use std::fmt;
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, IsaError>;
+
+/// Errors arising from ISA semantics or program validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// A value of the wrong type reached an operation.
+    TypeMismatch {
+        /// What the operation required.
+        expected: &'static str,
+        /// What it received.
+        found: &'static str,
+    },
+    /// Integer division or remainder by zero.
+    DivideByZero,
+    /// An operation received the wrong number of sources.
+    ArityMismatch {
+        /// The operation's mnemonic.
+        op: &'static str,
+        /// Required source count.
+        expected: usize,
+        /// Provided source count.
+        found: usize,
+    },
+    /// A program failed validation against a machine configuration.
+    Invalid(String),
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            IsaError::DivideByZero => write!(f, "integer divide by zero"),
+            IsaError::ArityMismatch {
+                op,
+                expected,
+                found,
+            } => write!(f, "{op} expects {expected} sources, found {found}"),
+            IsaError::Invalid(msg) => write!(f, "invalid program: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(
+            IsaError::TypeMismatch {
+                expected: "int",
+                found: "float"
+            }
+            .to_string(),
+            "type mismatch: expected int, found float"
+        );
+        assert_eq!(IsaError::DivideByZero.to_string(), "integer divide by zero");
+        assert!(IsaError::ArityMismatch {
+            op: "add",
+            expected: 2,
+            found: 1
+        }
+        .to_string()
+        .contains("add expects 2"));
+        assert!(IsaError::Invalid("x".into()).to_string().contains("x"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<IsaError>();
+    }
+}

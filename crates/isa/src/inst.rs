@@ -1,0 +1,159 @@
+//! Wide instruction words: one sparse row of the operation matrix.
+
+use crate::config::FuId;
+use crate::op::{BranchOp, OpKind, Operation};
+use std::fmt;
+
+/// One row of a thread's statically scheduled instruction stream.
+///
+/// Each slot binds an [`Operation`] to a specific function unit; a row may
+/// name each unit at most once. Operations of a row may issue in different
+/// cycles (*slip*), but every operation of row *i* must issue before any
+/// operation of row *i + 1* (in-order issue).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct InstWord {
+    slots: Vec<(FuId, Operation)>,
+}
+
+impl InstWord {
+    /// An empty row (useful while building schedules; empty rows are legal
+    /// and complete immediately).
+    pub fn new() -> Self {
+        InstWord::default()
+    }
+
+    /// Builds a row from slots.
+    pub fn from_slots(slots: Vec<(FuId, Operation)>) -> Self {
+        InstWord { slots }
+    }
+
+    /// Adds an operation on a unit.
+    ///
+    /// # Panics
+    /// Panics if the row already holds an operation for `fu` — a schedule
+    /// bug in the caller.
+    pub fn push(&mut self, fu: FuId, op: Operation) {
+        assert!(
+            !self.slots.iter().any(|(f, _)| *f == fu),
+            "row already has an operation on {fu}"
+        );
+        self.slots.push((fu, op));
+    }
+
+    /// The row's slots in insertion order.
+    pub fn slots(&self) -> &[(FuId, Operation)] {
+        &self.slots
+    }
+
+    /// Number of operations in the row.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if the row holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The operation bound to `fu`, if any.
+    pub fn op_on(&self, fu: FuId) -> Option<&Operation> {
+        self.slots.iter().find(|(f, _)| *f == fu).map(|(_, op)| op)
+    }
+
+    /// The branch operation of this row, if any (validation guarantees at
+    /// most one).
+    pub fn branch(&self) -> Option<&BranchOp> {
+        self.slots.iter().find_map(|(_, op)| match &op.kind {
+            OpKind::Branch(b) => Some(b),
+            _ => None,
+        })
+    }
+
+    /// True if the row ends with a control transfer that prevents
+    /// fall-through fetch (`jmp` or `halt`). Conditional branches still
+    /// fall through when untaken.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self.branch(),
+            Some(BranchOp::Jmp { .. }) | Some(BranchOp::Halt)
+        )
+    }
+}
+
+impl fmt::Display for InstWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.slots.is_empty() {
+            return write!(f, "  (nop row)");
+        }
+        for (fu, op) in &self.slots {
+            writeln!(f, "  {fu}: {op}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{IntOp, Operation};
+    use crate::reg::{ClusterId, Operand, RegId};
+
+    fn add_op() -> Operation {
+        Operation::int(
+            IntOp::Add,
+            vec![Operand::ImmInt(1), Operand::ImmInt(2)],
+            RegId::new(ClusterId(0), 0),
+        )
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let mut row = InstWord::new();
+        assert!(row.is_empty());
+        row.push(FuId(3), add_op());
+        assert_eq!(row.len(), 1);
+        assert!(row.op_on(FuId(3)).is_some());
+        assert!(row.op_on(FuId(0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already has an operation")]
+    fn duplicate_slot_panics() {
+        let mut row = InstWord::new();
+        row.push(FuId(1), add_op());
+        row.push(FuId(1), add_op());
+    }
+
+    #[test]
+    fn branch_detection() {
+        let mut row = InstWord::new();
+        row.push(FuId(0), add_op());
+        assert!(row.branch().is_none());
+        assert!(!row.is_terminator());
+
+        row.push(
+            FuId(9),
+            Operation::new(OpKind::Branch(BranchOp::Halt), vec![], vec![]),
+        );
+        assert_eq!(row.branch(), Some(&BranchOp::Halt));
+        assert!(row.is_terminator());
+    }
+
+    #[test]
+    fn conditional_branch_is_not_terminator() {
+        let mut row = InstWord::new();
+        row.push(
+            FuId(9),
+            Operation::new(
+                OpKind::Branch(BranchOp::Br {
+                    on_true: true,
+                    target: 0,
+                }),
+                vec![Operand::Reg(RegId::new(ClusterId(0), 0))],
+                vec![],
+            ),
+        );
+        assert!(!row.is_terminator());
+        assert!(row.branch().is_some());
+    }
+}

@@ -1,0 +1,165 @@
+//! Programs: code segments (one per thread body), global symbols, and
+//! per-segment register requirements.
+
+use crate::inst::InstWord;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Index of a code segment within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Default)]
+pub struct SegmentId(pub u32);
+
+impl fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seg{}", self.0)
+    }
+}
+
+/// A named region of simulated memory (a global array or scalar).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    /// Source-level name.
+    pub name: String,
+    /// First word address.
+    pub addr: u64,
+    /// Length in words.
+    pub len: u64,
+}
+
+/// One thread body: a statically scheduled stream of instruction rows.
+///
+/// The compiler records, per cluster, the peak register index used plus one
+/// (`regs_per_cluster`), which sizes the thread's distributed register set
+/// in the simulator.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CodeSegment {
+    /// Human-readable name (function or thread label).
+    pub name: String,
+    /// The rows, issued in order with intra-row slip.
+    pub rows: Vec<InstWord>,
+    /// Register file size needed in each cluster (indexed by cluster id).
+    pub regs_per_cluster: Vec<u32>,
+}
+
+impl CodeSegment {
+    /// Creates an empty segment.
+    pub fn new(name: impl Into<String>) -> Self {
+        CodeSegment {
+            name: name.into(),
+            rows: Vec::new(),
+            regs_per_cluster: Vec::new(),
+        }
+    }
+
+    /// Total operation count across all rows.
+    pub fn op_count(&self) -> usize {
+        self.rows.iter().map(InstWord::len).sum()
+    }
+}
+
+/// A complete compiled program: segments, the entry segment, the global
+/// symbol table and the extent of statically allocated memory.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// All code segments; `SegmentId(i)` indexes this vector.
+    pub segments: Vec<CodeSegment>,
+    /// The segment the initial thread runs.
+    pub entry: SegmentId,
+    /// Global data symbols, keyed by name.
+    pub symbols: BTreeMap<String, Symbol>,
+    /// One past the highest statically allocated word address.
+    pub memory_size: u64,
+}
+
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Adds a segment, returning its id.
+    pub fn add_segment(&mut self, seg: CodeSegment) -> SegmentId {
+        let id = SegmentId(self.segments.len() as u32);
+        self.segments.push(seg);
+        id
+    }
+
+    /// Looks up a segment.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn segment(&self, id: SegmentId) -> &CodeSegment {
+        &self.segments[id.0 as usize]
+    }
+
+    /// Looks up a global symbol by name.
+    pub fn symbol(&self, name: &str) -> Option<&Symbol> {
+        self.symbols.get(name)
+    }
+
+    /// Registers a global symbol at the current end of static memory and
+    /// returns its base address.
+    pub fn alloc_symbol(&mut self, name: impl Into<String>, len: u64) -> u64 {
+        let name = name.into();
+        let addr = self.memory_size;
+        self.memory_size += len;
+        self.symbols.insert(
+            name.clone(),
+            Symbol {
+                name,
+                addr,
+                len,
+            },
+        );
+        addr
+    }
+
+    /// Total operation count across all segments.
+    pub fn op_count(&self) -> usize {
+        self.segments.iter().map(CodeSegment::op_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_ids_are_dense() {
+        let mut p = Program::new();
+        let a = p.add_segment(CodeSegment::new("a"));
+        let b = p.add_segment(CodeSegment::new("b"));
+        assert_eq!(a, SegmentId(0));
+        assert_eq!(b, SegmentId(1));
+        assert_eq!(p.segment(b).name, "b");
+    }
+
+    #[test]
+    fn symbol_allocation_is_contiguous() {
+        let mut p = Program::new();
+        let a = p.alloc_symbol("a", 81);
+        let b = p.alloc_symbol("b", 81);
+        assert_eq!(a, 0);
+        assert_eq!(b, 81);
+        assert_eq!(p.memory_size, 162);
+        assert_eq!(p.symbol("a").unwrap().len, 81);
+        assert!(p.symbol("zz").is_none());
+    }
+
+    #[test]
+    fn op_count_sums_rows() {
+        let mut p = Program::new();
+        let mut seg = CodeSegment::new("s");
+        seg.rows.push(InstWord::new());
+        assert_eq!(seg.op_count(), 0);
+        p.add_segment(seg);
+        assert_eq!(p.op_count(), 0);
+    }
+
+    #[test]
+    fn display_of_segment_id() {
+        assert_eq!(SegmentId(4).to_string(), "seg4");
+    }
+}

@@ -1,0 +1,145 @@
+//! Register and operand naming.
+//!
+//! Registers are per-thread and *distributed over clusters*: a register id
+//! names a (cluster, index) pair within the owning thread's logical register
+//! set. Function units read only their own cluster's register file but may
+//! write any cluster's (the paper's coupling mechanism). The compiler
+//! assumes an unbounded register index space per cluster and reports the
+//! peak count it used.
+
+use std::fmt;
+
+/// Identifies one cluster of the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClusterId(pub u16);
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A per-thread register name: an index into the register file of one
+/// cluster.
+///
+/// ```
+/// use pc_isa::{ClusterId, RegId};
+/// let r = RegId::new(ClusterId(2), 5);
+/// assert_eq!(r.to_string(), "c2.r5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegId {
+    /// The cluster whose register file holds the register.
+    pub cluster: ClusterId,
+    /// The index within that cluster's (per-thread) register file.
+    pub index: u32,
+}
+
+impl RegId {
+    /// Creates a register id.
+    pub fn new(cluster: ClusterId, index: u32) -> Self {
+        RegId { cluster, index }
+    }
+}
+
+impl fmt::Display for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.r{}", self.cluster, self.index)
+    }
+}
+
+/// An operation source: either a register read (local to the executing
+/// unit's cluster) or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operand {
+    /// Read a register. Validation requires the register's cluster to match
+    /// the cluster of the executing function unit.
+    Reg(RegId),
+    /// An integer immediate.
+    ImmInt(i64),
+    /// A floating-point immediate.
+    ImmFloat(f64),
+}
+
+impl Operand {
+    /// The register read by this operand, if any.
+    pub fn reg(&self) -> Option<RegId> {
+        match self {
+            Operand::Reg(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// True if this operand is an immediate.
+    pub fn is_imm(&self) -> bool {
+        !matches!(self, Operand::Reg(_))
+    }
+}
+
+impl From<RegId> for Operand {
+    fn from(r: RegId) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(i: i64) -> Self {
+        Operand::ImmInt(i)
+    }
+}
+
+impl From<f64> for Operand {
+    fn from(f: f64) -> Self {
+        Operand::ImmFloat(f)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::ImmInt(i) => write!(f, "#{i}"),
+            Operand::ImmFloat(x) => write!(f, "#{x:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_display_and_order() {
+        let a = RegId::new(ClusterId(0), 1);
+        let b = RegId::new(ClusterId(1), 0);
+        assert!(a < b);
+        assert_eq!(a.to_string(), "c0.r1");
+    }
+
+    #[test]
+    fn operand_reg_extraction() {
+        let r = RegId::new(ClusterId(0), 3);
+        assert_eq!(Operand::Reg(r).reg(), Some(r));
+        assert_eq!(Operand::ImmInt(4).reg(), None);
+        assert!(Operand::ImmInt(4).is_imm());
+        assert!(Operand::ImmFloat(1.0).is_imm());
+        assert!(!Operand::Reg(r).is_imm());
+    }
+
+    #[test]
+    fn operand_from_impls() {
+        let r = RegId::new(ClusterId(1), 2);
+        assert_eq!(Operand::from(r), Operand::Reg(r));
+        assert_eq!(Operand::from(3i64), Operand::ImmInt(3));
+        assert_eq!(Operand::from(0.5f64), Operand::ImmFloat(0.5));
+    }
+
+    #[test]
+    fn operand_display() {
+        assert_eq!(Operand::ImmInt(-2).to_string(), "#-2");
+        assert_eq!(
+            Operand::Reg(RegId::new(ClusterId(3), 9)).to_string(),
+            "c3.r9"
+        );
+    }
+}

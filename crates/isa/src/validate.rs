@@ -1,0 +1,345 @@
+//! Static validation of programs against a machine configuration.
+//!
+//! The simulator assumes validated input; the compiler validates its own
+//! output in debug builds and the test suites validate everything.
+
+use crate::config::{MachineConfig, UnitClass};
+use crate::error::{IsaError, Result};
+use crate::op::{BranchOp, OpKind};
+use crate::program::Program;
+use crate::reg::RegId;
+
+/// Checks that `program` is well-formed for `config`:
+///
+/// * every slot's operation class matches its function unit's class;
+/// * sources read only the executing unit's own cluster;
+/// * destination counts respect `max_dsts` and only register-writing
+///   opcodes have destinations;
+/// * register indices fall within the segment's declared per-cluster
+///   register counts;
+/// * at most one branch operation per row;
+/// * branch and jump targets stay within the segment; fork targets name
+///   existing segments; fork argument counts match;
+/// * the entry segment exists.
+///
+/// # Errors
+/// Returns [`IsaError::Invalid`] describing the first violation found.
+pub fn validate_program(program: &Program, config: &MachineConfig) -> Result<()> {
+    if program.segments.is_empty() {
+        return Err(IsaError::Invalid("program has no segments".into()));
+    }
+    if program.entry.0 as usize >= program.segments.len() {
+        return Err(IsaError::Invalid(format!(
+            "entry {} out of range",
+            program.entry
+        )));
+    }
+    for (si, seg) in program.segments.iter().enumerate() {
+        let reg_ok = |r: &RegId, seg_regs: &[u32]| -> bool {
+            (r.cluster.0 as usize) < config.clusters().len()
+                && seg_regs
+                    .get(r.cluster.0 as usize)
+                    .is_some_and(|&n| r.index < n)
+        };
+        for (ri, row) in seg.rows.iter().enumerate() {
+            let at = |msg: String| IsaError::Invalid(format!("{}[{ri}]: {msg}", seg.name));
+            let mut seen_units = Vec::new();
+            let mut branches = 0usize;
+            for (fu, op) in row.slots() {
+                if fu.0 as usize >= config.units().len() {
+                    return Err(at(format!("unknown unit {fu}")));
+                }
+                if seen_units.contains(fu) {
+                    return Err(at(format!("duplicate slot on {fu}")));
+                }
+                seen_units.push(*fu);
+                let info = config.fu(*fu);
+                if info.class != op.unit_class() {
+                    return Err(at(format!(
+                        "{} op on {} unit {fu}",
+                        op.unit_class(),
+                        info.class
+                    )));
+                }
+                for s in op.src_regs() {
+                    if s.cluster != info.cluster {
+                        return Err(at(format!(
+                            "{fu} (cluster {}) reads remote register {s}",
+                            info.cluster
+                        )));
+                    }
+                    if !reg_ok(&s, &seg.regs_per_cluster) {
+                        return Err(at(format!("source register {s} out of range")));
+                    }
+                }
+                if let Some(n) = op.kind.arity() {
+                    if op.srcs.len() != n {
+                        return Err(at(format!(
+                            "{} expects {n} sources, has {}",
+                            op.kind.mnemonic(),
+                            op.srcs.len()
+                        )));
+                    }
+                }
+                if op.kind.writes_register() {
+                    if op.dsts.is_empty() || op.dsts.len() > config.max_dsts {
+                        return Err(at(format!(
+                            "{} has {} destinations (1..={} allowed)",
+                            op.kind.mnemonic(),
+                            op.dsts.len(),
+                            config.max_dsts
+                        )));
+                    }
+                } else if !op.dsts.is_empty() {
+                    return Err(at(format!(
+                        "{} must not have destinations",
+                        op.kind.mnemonic()
+                    )));
+                }
+                for d in &op.dsts {
+                    if !reg_ok(d, &seg.regs_per_cluster) {
+                        return Err(at(format!("destination register {d} out of range")));
+                    }
+                }
+                if let OpKind::Branch(b) = &op.kind {
+                    if info.class != UnitClass::Branch {
+                        return Err(at("branch op on non-branch unit".into()));
+                    }
+                    branches += 1;
+                    match b {
+                        BranchOp::Jmp { target } | BranchOp::Br { target, .. } => {
+                            if *target as usize >= seg.rows.len() {
+                                return Err(at(format!("branch target @{target} out of range")));
+                            }
+                        }
+                        BranchOp::Fork { segment, arg_dsts } => {
+                            let Some(child) =
+                                program.segments.get(segment.0 as usize)
+                            else {
+                                return Err(at(format!("fork to unknown {segment}")));
+                            };
+                            if arg_dsts.len() != op.srcs.len() {
+                                return Err(at(format!(
+                                    "fork has {} sources but {} arg destinations",
+                                    op.srcs.len(),
+                                    arg_dsts.len()
+                                )));
+                            }
+                            for d in arg_dsts {
+                                if !reg_ok(d, &child.regs_per_cluster) {
+                                    return Err(at(format!(
+                                        "fork arg register {d} out of range for {}",
+                                        child.name
+                                    )));
+                                }
+                            }
+                        }
+                        BranchOp::Halt | BranchOp::Probe { .. } => {}
+                    }
+                }
+            }
+            if branches > 1 {
+                return Err(at("more than one branch operation in a row".into()));
+            }
+            let _ = si;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FuId;
+    use crate::inst::InstWord;
+    use crate::op::{IntOp, LoadFlavor, Operation};
+    use crate::program::CodeSegment;
+    use crate::reg::{ClusterId, Operand};
+
+    fn r(c: u16, i: u32) -> RegId {
+        RegId::new(ClusterId(c), i)
+    }
+
+    /// Baseline machine: unit 0 = cluster 0 IU, unit 2 = cluster 0 MEM,
+    /// unit 12 = first branch unit (cluster 4).
+    fn base() -> MachineConfig {
+        MachineConfig::baseline()
+    }
+
+    fn one_row_program(row: InstWord, regs: Vec<u32>) -> Program {
+        let mut p = Program::new();
+        let mut seg = CodeSegment::new("main");
+        seg.rows.push(row);
+        seg.regs_per_cluster = regs;
+        p.add_segment(seg);
+        p
+    }
+
+    #[test]
+    fn accepts_simple_program() {
+        let mut row = InstWord::new();
+        row.push(
+            FuId(0),
+            Operation::int(IntOp::Add, vec![Operand::ImmInt(1), Operand::ImmInt(2)], r(0, 0)),
+        );
+        let p = one_row_program(row, vec![1, 0, 0, 0, 0, 0]);
+        validate_program(&p, &base()).unwrap();
+    }
+
+    #[test]
+    fn rejects_empty_program() {
+        let p = Program::new();
+        assert!(validate_program(&p, &base()).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_unit_class() {
+        let mut row = InstWord::new();
+        // Integer op on the FPU (unit 1 of cluster 0).
+        row.push(
+            FuId(1),
+            Operation::int(IntOp::Add, vec![Operand::ImmInt(1), Operand::ImmInt(2)], r(0, 0)),
+        );
+        let p = one_row_program(row, vec![1, 0, 0, 0, 0, 0]);
+        let err = validate_program(&p, &base()).unwrap_err();
+        assert!(err.to_string().contains("unit"), "{err}");
+    }
+
+    #[test]
+    fn rejects_remote_source_read() {
+        let mut row = InstWord::new();
+        // Unit 0 lives in cluster 0 but reads cluster 1.
+        row.push(
+            FuId(0),
+            Operation::int(IntOp::Mov, vec![Operand::Reg(r(1, 0))], r(0, 0)),
+        );
+        let p = one_row_program(row, vec![1, 1, 0, 0, 0, 0]);
+        let err = validate_program(&p, &base()).unwrap_err();
+        assert!(err.to_string().contains("remote"), "{err}");
+    }
+
+    #[test]
+    fn allows_remote_destination_write() {
+        let mut row = InstWord::new();
+        row.push(
+            FuId(0),
+            Operation::new(
+                crate::op::OpKind::Int(IntOp::Mov),
+                vec![Operand::ImmInt(3)],
+                vec![r(0, 0), r(2, 0)],
+            ),
+        );
+        let p = one_row_program(row, vec![1, 0, 1, 0, 0, 0]);
+        validate_program(&p, &base()).unwrap();
+    }
+
+    #[test]
+    fn rejects_too_many_destinations() {
+        let mut row = InstWord::new();
+        row.push(
+            FuId(0),
+            Operation::new(
+                crate::op::OpKind::Int(IntOp::Mov),
+                vec![Operand::ImmInt(3)],
+                vec![r(0, 0), r(1, 0), r(2, 0)],
+            ),
+        );
+        let p = one_row_program(row, vec![1, 1, 1, 0, 0, 0]);
+        assert!(validate_program(&p, &base()).is_err());
+    }
+
+    #[test]
+    fn rejects_register_out_of_range() {
+        let mut row = InstWord::new();
+        row.push(
+            FuId(0),
+            Operation::int(IntOp::Add, vec![Operand::ImmInt(1), Operand::ImmInt(2)], r(0, 5)),
+        );
+        let p = one_row_program(row, vec![5, 0, 0, 0, 0, 0]); // r5 needs count 6
+        assert!(validate_program(&p, &base()).is_err());
+    }
+
+    #[test]
+    fn rejects_branch_target_out_of_range() {
+        let mut row = InstWord::new();
+        row.push(
+            FuId(12),
+            Operation::new(
+                crate::op::OpKind::Branch(BranchOp::Jmp { target: 9 }),
+                vec![],
+                vec![],
+            ),
+        );
+        let p = one_row_program(row, vec![0; 6]);
+        assert!(validate_program(&p, &base()).is_err());
+    }
+
+    #[test]
+    fn rejects_two_branches_in_row() {
+        let mut row = InstWord::new();
+        row.push(
+            FuId(12),
+            Operation::new(crate::op::OpKind::Branch(BranchOp::Halt), vec![], vec![]),
+        );
+        row.push(
+            FuId(13),
+            Operation::new(crate::op::OpKind::Branch(BranchOp::Halt), vec![], vec![]),
+        );
+        let p = one_row_program(row, vec![0; 6]);
+        let err = validate_program(&p, &base()).unwrap_err();
+        assert!(err.to_string().contains("more than one branch"), "{err}");
+    }
+
+    #[test]
+    fn rejects_fork_arity_mismatch() {
+        let mut p = Program::new();
+        let mut child = CodeSegment::new("child");
+        child.rows.push(InstWord::new());
+        child.regs_per_cluster = vec![1, 0, 0, 0, 0, 0];
+        let mut main = CodeSegment::new("main");
+        let mut row = InstWord::new();
+        row.push(
+            FuId(12),
+            Operation::new(
+                crate::op::OpKind::Branch(BranchOp::Fork {
+                    segment: crate::program::SegmentId(1),
+                    arg_dsts: vec![r(0, 0)],
+                }),
+                vec![], // 0 sources but 1 arg_dst
+                vec![],
+            ),
+        );
+        main.rows.push(row);
+        main.regs_per_cluster = vec![0; 6];
+        p.add_segment(main);
+        let mut pr = p;
+        pr.add_segment(child);
+        assert!(validate_program(&pr, &base()).is_err());
+    }
+
+    #[test]
+    fn rejects_store_with_destination() {
+        let mut row = InstWord::new();
+        let mut st = Operation::store(
+            crate::op::StoreFlavor::Plain,
+            Operand::ImmInt(0),
+            Operand::ImmInt(0),
+            Operand::ImmInt(1),
+        );
+        st.dsts.push(r(0, 0));
+        row.push(FuId(2), st);
+        let p = one_row_program(row, vec![1, 0, 0, 0, 0, 0]);
+        assert!(validate_program(&p, &base()).is_err());
+    }
+
+    #[test]
+    fn accepts_load_on_memory_unit() {
+        let mut row = InstWord::new();
+        row.push(
+            FuId(2),
+            Operation::load(LoadFlavor::Plain, Operand::ImmInt(0), Operand::ImmInt(0), r(0, 0)),
+        );
+        let p = one_row_program(row, vec![1, 0, 0, 0, 0, 0]);
+        validate_program(&p, &base()).unwrap();
+    }
+}

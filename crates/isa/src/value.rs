@@ -1,0 +1,187 @@
+//! Machine values: 64-bit integers and 64-bit floats in a unified register
+//! space (the paper keeps integers and floating point numbers in the same
+//! register files).
+
+use crate::error::{IsaError, Result};
+use std::fmt;
+
+/// A value held in a register or memory word.
+///
+/// The simulated machine is word-oriented: every register and every memory
+/// location holds one `Value`. Addresses are plain integers.
+///
+/// ```
+/// use pc_isa::Value;
+/// let v = Value::Int(3);
+/// assert_eq!(v.as_int().unwrap(), 3);
+/// assert!(Value::Float(1.5).as_int().is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// A 64-bit signed integer (also used for addresses and booleans).
+    Int(i64),
+    /// A 64-bit IEEE float.
+    Float(f64),
+}
+
+impl Value {
+    /// The canonical `true` value produced by comparison operations.
+    pub const TRUE: Value = Value::Int(1);
+    /// The canonical `false` value produced by comparison operations.
+    pub const FALSE: Value = Value::Int(0);
+
+    /// Returns the integer payload.
+    ///
+    /// # Errors
+    /// Returns [`IsaError::TypeMismatch`] if the value is a float.
+    pub fn as_int(self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(i),
+            Value::Float(_) => Err(IsaError::TypeMismatch {
+                expected: "int",
+                found: "float",
+            }),
+        }
+    }
+
+    /// Returns the float payload.
+    ///
+    /// # Errors
+    /// Returns [`IsaError::TypeMismatch`] if the value is an integer.
+    pub fn as_float(self) -> Result<f64> {
+        match self {
+            Value::Float(f) => Ok(f),
+            Value::Int(_) => Err(IsaError::TypeMismatch {
+                expected: "float",
+                found: "int",
+            }),
+        }
+    }
+
+    /// Interprets the value as a branch condition: integers are true when
+    /// nonzero; floats are rejected (conditions are always integer-typed).
+    ///
+    /// # Errors
+    /// Returns [`IsaError::TypeMismatch`] for float values.
+    pub fn as_cond(self) -> Result<bool> {
+        Ok(self.as_int()? != 0)
+    }
+
+    /// True if this is an [`Value::Int`].
+    pub fn is_int(self) -> bool {
+        matches!(self, Value::Int(_))
+    }
+
+    /// True if this is a [`Value::Float`].
+    pub fn is_float(self) -> bool {
+        matches!(self, Value::Float(_))
+    }
+
+    /// Bitwise equality usable as a total equivalence (treats NaN as equal
+    /// to itself), used by tests and the assembler round-trip.
+    pub fn bit_eq(self, other: Value) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Int(0)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        if b {
+            Value::TRUE
+        } else {
+            Value::FALSE
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_accessors() {
+        assert_eq!(Value::Int(7).as_int().unwrap(), 7);
+        assert!(Value::Int(7).is_int());
+        assert!(!Value::Int(7).is_float());
+        assert!(Value::Int(7).as_float().is_err());
+    }
+
+    #[test]
+    fn float_accessors() {
+        assert_eq!(Value::Float(2.5).as_float().unwrap(), 2.5);
+        assert!(Value::Float(2.5).is_float());
+        assert!(Value::Float(2.5).as_int().is_err());
+    }
+
+    #[test]
+    fn conditions_are_integers() {
+        assert!(Value::Int(3).as_cond().unwrap());
+        assert!(!Value::Int(0).as_cond().unwrap());
+        assert!(Value::Float(1.0).as_cond().is_err());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(true), Value::Int(1));
+        assert_eq!(Value::from(false), Value::Int(0));
+        assert_eq!(Value::from(4i64), Value::Int(4));
+        assert_eq!(Value::from(4.0f64), Value::Float(4.0));
+    }
+
+    #[test]
+    fn bit_eq_handles_nan() {
+        let nan = Value::Float(f64::NAN);
+        assert!(nan.bit_eq(nan));
+        assert!(!nan.bit_eq(Value::Float(0.0)));
+        assert!(!Value::Int(0).bit_eq(Value::Float(0.0)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Float(2.25).to_string(), "2.25");
+    }
+
+    #[test]
+    fn default_is_int_zero() {
+        assert_eq!(Value::default(), Value::Int(0));
+    }
+}

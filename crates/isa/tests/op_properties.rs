@@ -1,0 +1,109 @@
+//! Property tests of the shared operation semantics — the single source
+//! of truth for the compiler's folder, the reference evaluators and the
+//! simulator.
+
+use pc_isa::{op, FloatOp, IntOp, Value};
+use proptest::prelude::*;
+
+fn i(v: i64) -> Value {
+    Value::Int(v)
+}
+
+fn f(v: f64) -> Value {
+    Value::Float(v)
+}
+
+proptest! {
+    #[test]
+    fn int_add_mul_commute(a in any::<i64>(), b in any::<i64>()) {
+        for op_ in [IntOp::Add, IntOp::Mul, IntOp::And, IntOp::Or, IntOp::Xor] {
+            let x = op::eval_int(op_, &[i(a), i(b)]).unwrap();
+            let y = op::eval_int(op_, &[i(b), i(a)]).unwrap();
+            prop_assert!(x.bit_eq(y), "{op_:?}");
+        }
+    }
+
+    #[test]
+    fn int_comparisons_are_exhaustive_and_exclusive(a in any::<i64>(), b in any::<i64>()) {
+        let lt = op::eval_int(IntOp::Slt, &[i(a), i(b)]).unwrap() == Value::TRUE;
+        let eq = op::eval_int(IntOp::Seq, &[i(a), i(b)]).unwrap() == Value::TRUE;
+        let gt = op::eval_int(IntOp::Sgt, &[i(a), i(b)]).unwrap() == Value::TRUE;
+        prop_assert_eq!(lt as u8 + eq as u8 + gt as u8, 1);
+        let le = op::eval_int(IntOp::Sle, &[i(a), i(b)]).unwrap() == Value::TRUE;
+        let ge = op::eval_int(IntOp::Sge, &[i(a), i(b)]).unwrap() == Value::TRUE;
+        prop_assert_eq!(le, lt || eq);
+        prop_assert_eq!(ge, gt || eq);
+        let ne = op::eval_int(IntOp::Sne, &[i(a), i(b)]).unwrap() == Value::TRUE;
+        prop_assert_eq!(ne, !eq);
+    }
+
+    #[test]
+    fn int_sub_and_neg_agree(a in any::<i64>(), b in any::<i64>()) {
+        let sub = op::eval_int(IntOp::Sub, &[i(a), i(b)]).unwrap();
+        let negb = op::eval_int(IntOp::Neg, &[i(b)]).unwrap();
+        let add = op::eval_int(IntOp::Add, &[i(a), negb]).unwrap();
+        prop_assert!(sub.bit_eq(add));
+    }
+
+    #[test]
+    fn int_div_rem_reconstruct(a in any::<i64>(), b in any::<i64>().prop_filter("nonzero", |&b| b != 0)) {
+        // a == (a / b) * b + a % b (wrapping arithmetic throughout).
+        let q = op::eval_int(IntOp::Div, &[i(a), i(b)]).unwrap().as_int().unwrap();
+        let r = op::eval_int(IntOp::Rem, &[i(a), i(b)]).unwrap().as_int().unwrap();
+        prop_assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+    }
+
+    #[test]
+    fn shifts_mask_their_amount(a in any::<i64>(), s in any::<i64>()) {
+        let x = op::eval_int(IntOp::Shl, &[i(a), i(s)]).unwrap();
+        let y = op::eval_int(IntOp::Shl, &[i(a), i(s & 63)]).unwrap();
+        prop_assert!(x.bit_eq(y));
+    }
+
+    #[test]
+    fn mov_is_identity_on_both_types(a in any::<i64>(), b in any::<f64>()) {
+        prop_assert!(op::eval_int(IntOp::Mov, &[i(a)]).unwrap().bit_eq(i(a)));
+        prop_assert!(op::eval_int(IntOp::Mov, &[f(b)]).unwrap().bit_eq(f(b)));
+        prop_assert!(op::eval_float(FloatOp::Fmov, &[f(b)]).unwrap().bit_eq(f(b)));
+    }
+
+    #[test]
+    fn float_ops_match_ieee(a in any::<f64>(), b in any::<f64>()) {
+        let cases = [
+            (FloatOp::Fadd, a + b),
+            (FloatOp::Fsub, a - b),
+            (FloatOp::Fmul, a * b),
+            (FloatOp::Fdiv, a / b),
+        ];
+        for (op_, want) in cases {
+            let got = op::eval_float(op_, &[f(a), f(b)]).unwrap();
+            prop_assert!(got.bit_eq(f(want)), "{op_:?}");
+        }
+    }
+
+    #[test]
+    fn float_neg_abs(a in any::<f64>()) {
+        prop_assert!(op::eval_float(FloatOp::Fneg, &[f(a)]).unwrap().bit_eq(f(-a)));
+        prop_assert!(op::eval_float(FloatOp::Fabs, &[f(a)]).unwrap().bit_eq(f(a.abs())));
+    }
+
+    #[test]
+    fn conversions_roundtrip_small_ints(a in -1_000_000i64..1_000_000) {
+        let as_float = op::eval_float(FloatOp::Itof, &[i(a)]).unwrap();
+        let back = op::eval_float(FloatOp::Ftoi, &[as_float]).unwrap();
+        prop_assert_eq!(back.as_int().unwrap(), a);
+    }
+
+    #[test]
+    fn type_errors_never_panic(a in any::<i64>(), b in any::<f64>()) {
+        // Mixed operands return errors, not panics, for every opcode.
+        for &op_ in IntOp::all() {
+            let _ = op::eval_int(op_, &[f(b), i(a)]);
+            let _ = op::eval_int(op_, &[f(b)]);
+        }
+        for &op_ in FloatOp::all() {
+            let _ = op::eval_float(op_, &[i(a), f(b)]);
+            let _ = op::eval_float(op_, &[i(a)]);
+        }
+    }
+}

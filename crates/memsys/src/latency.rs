@@ -1,0 +1,134 @@
+//! The statistical latency model (paper §3 "Simulator" and §4 "Variable
+//! Memory Latency").
+//!
+//! "The configuration file specifies the hit latency, the miss rate, and a
+//! minimum and maximum miss penalty. If a miss occurs, the number of penalty
+//! cycles is randomly chosen from the penalty range."
+
+use pc_isa::MemoryModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws per-reference latencies from a [`MemoryModel`] with a
+/// deterministic seeded RNG (identical seeds ⇒ identical simulations).
+#[derive(Debug, Clone)]
+pub struct LatencySampler {
+    model: MemoryModel,
+    rng: StdRng,
+    misses: u64,
+    accesses: u64,
+}
+
+impl LatencySampler {
+    /// Creates a sampler for `model` seeded with `seed`.
+    pub fn new(model: MemoryModel, seed: u64) -> Self {
+        LatencySampler {
+            model,
+            rng: StdRng::seed_from_u64(seed),
+            misses: 0,
+            accesses: 0,
+        }
+    }
+
+    /// Samples the total latency (in cycles, ≥ 1) of one memory reference.
+    pub fn sample(&mut self) -> u32 {
+        self.accesses += 1;
+        let hit = self.model.hit_latency.max(1);
+        if self.model.miss_rate > 0.0 && self.rng.gen_bool(self.model.miss_rate.clamp(0.0, 1.0)) {
+            self.misses += 1;
+            let (lo, hi) = self.model.miss_penalty;
+            let penalty = if hi > lo {
+                self.rng.gen_range(lo..=hi)
+            } else {
+                lo
+            };
+            hit + penalty
+        } else {
+            hit
+        }
+    }
+
+    /// References sampled so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Misses drawn so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// The model being sampled.
+    pub fn model(&self) -> &MemoryModel {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_model_is_always_one_cycle() {
+        let mut s = LatencySampler::new(MemoryModel::min(), 1);
+        for _ in 0..1000 {
+            assert_eq!(s.sample(), 1);
+        }
+        assert_eq!(s.misses(), 0);
+        assert_eq!(s.accesses(), 1000);
+    }
+
+    #[test]
+    fn mem1_miss_rate_is_about_five_percent() {
+        let mut s = LatencySampler::new(MemoryModel::mem1(), 7);
+        let n = 20_000;
+        for _ in 0..n {
+            let lat = s.sample();
+            assert!(lat == 1 || (21..=101).contains(&lat), "latency {lat}");
+        }
+        let rate = s.misses() as f64 / n as f64;
+        assert!((0.04..0.06).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn mem2_misses_about_twice_as_often() {
+        let mut a = LatencySampler::new(MemoryModel::mem1(), 3);
+        let mut b = LatencySampler::new(MemoryModel::mem2(), 3);
+        for _ in 0..20_000 {
+            a.sample();
+            b.sample();
+        }
+        let ratio = b.misses() as f64 / a.misses() as f64;
+        assert!((1.6..2.4).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut a = LatencySampler::new(MemoryModel::mem2(), 42);
+        let mut b = LatencySampler::new(MemoryModel::mem2(), 42);
+        let xs: Vec<u32> = (0..500).map(|_| a.sample()).collect();
+        let ys: Vec<u32> = (0..500).map(|_| b.sample()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = LatencySampler::new(MemoryModel::mem2(), 1);
+        let mut b = LatencySampler::new(MemoryModel::mem2(), 2);
+        let xs: Vec<u32> = (0..500).map(|_| a.sample()).collect();
+        let ys: Vec<u32> = (0..500).map(|_| b.sample()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn degenerate_penalty_range() {
+        let model = MemoryModel {
+            hit_latency: 1,
+            miss_rate: 1.0,
+            miss_penalty: (20, 20),
+            banks: 0,
+        };
+        let mut s = LatencySampler::new(model, 0);
+        assert_eq!(s.sample(), 21);
+    }
+}

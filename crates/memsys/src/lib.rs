@@ -1,0 +1,40 @@
+//! # pc-memsys — the memory substrate of a processor-coupled node
+//!
+//! Implements the paper's memory system (§2 "Memory System" and Table 1):
+//!
+//! * word-addressed memory in which **every location carries a full/empty
+//!   (presence) bit** used for storage, synchronization and inter-thread
+//!   communication;
+//! * the six load/store flavors of Table 1 ([`pc_isa::LoadFlavor`],
+//!   [`pc_isa::StoreFlavor`]), with unsatisfied preconditions **parking**
+//!   the reference inside the memory system (split-transaction protocol)
+//!   and reactivating it when a later reference flips the location's bit;
+//! * a **statistical latency model** (hit latency, miss rate, uniformly
+//!   distributed miss penalty) reproducing the paper's `Min` / `Mem1` /
+//!   `Mem2` configurations, driven by a deterministic seeded RNG;
+//! * bank bookkeeping for statistics (the paper models no bank conflicts,
+//!   and neither do we).
+//!
+//! ```
+//! use pc_isa::{MemoryModel, StoreFlavor, Value};
+//! use pc_memsys::{MemorySystem, RequestKind};
+//!
+//! let mut m = MemorySystem::new(MemoryModel::min(), 16, 0);
+//! m.submit(0, 1, 4, RequestKind::Store(StoreFlavor::Plain, Value::Int(7)));
+//! let done = m.tick(1).unwrap(); // 1-cycle latency
+//! assert_eq!(done.len(), 1);
+//! assert_eq!(m.read_word(4).unwrap(), Value::Int(7));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod latency;
+mod memory;
+mod stats;
+mod system;
+
+pub use latency::LatencySampler;
+pub use memory::{MemError, Memory, MAX_WORDS};
+pub use stats::MemStats;
+pub use system::{MemCompletion, MemorySystem, RequestKind};

@@ -1,0 +1,179 @@
+//! The word array with per-location full/empty bits.
+
+use pc_isa::Value;
+use std::fmt;
+
+/// Hard ceiling on the simulated address space (words); catches wild
+/// addresses produced by buggy programs instead of exhausting host memory.
+pub const MAX_WORDS: u64 = 1 << 24;
+
+/// Errors raised by memory accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// The address exceeds [`MAX_WORDS`].
+    OutOfBounds {
+        /// The offending word address.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfBounds { addr } => {
+                write!(f, "address {addr} exceeds simulated memory ({MAX_WORDS} words)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Word-addressed memory with a presence (full/empty) bit per location.
+///
+/// The array grows on demand up to [`MAX_WORDS`]; fresh locations read as
+/// `Int(0)` and are born **full** (plain data "just works"; synchronization
+/// cells are explicitly emptied with [`Memory::set_empty`]).
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    words: Vec<Value>,
+    full: Vec<bool>,
+}
+
+impl Memory {
+    /// Creates a memory pre-sized to `size` words.
+    pub fn with_size(size: u64) -> Self {
+        let n = size.min(MAX_WORDS) as usize;
+        Memory {
+            words: vec![Value::Int(0); n],
+            full: vec![true; n],
+        }
+    }
+
+    fn ensure(&mut self, addr: u64) -> Result<usize, MemError> {
+        if addr >= MAX_WORDS {
+            return Err(MemError::OutOfBounds { addr });
+        }
+        let i = addr as usize;
+        if i >= self.words.len() {
+            self.words.resize(i + 1, Value::Int(0));
+            self.full.resize(i + 1, true);
+        }
+        Ok(i)
+    }
+
+    /// Reads the value at `addr` (fresh locations read `Int(0)`).
+    ///
+    /// # Errors
+    /// [`MemError::OutOfBounds`] beyond [`MAX_WORDS`].
+    pub fn read(&mut self, addr: u64) -> Result<Value, MemError> {
+        let i = self.ensure(addr)?;
+        Ok(self.words[i])
+    }
+
+    /// Writes `value` at `addr` without touching the presence bit.
+    ///
+    /// # Errors
+    /// [`MemError::OutOfBounds`] beyond [`MAX_WORDS`].
+    pub fn write(&mut self, addr: u64, value: Value) -> Result<(), MemError> {
+        let i = self.ensure(addr)?;
+        self.words[i] = value;
+        Ok(())
+    }
+
+    /// The presence bit at `addr` (fresh locations are full).
+    ///
+    /// # Errors
+    /// [`MemError::OutOfBounds`] beyond [`MAX_WORDS`].
+    pub fn is_full(&mut self, addr: u64) -> Result<bool, MemError> {
+        let i = self.ensure(addr)?;
+        Ok(self.full[i])
+    }
+
+    /// Sets the presence bit.
+    ///
+    /// # Errors
+    /// [`MemError::OutOfBounds`] beyond [`MAX_WORDS`].
+    pub fn set_full_bit(&mut self, addr: u64, full: bool) -> Result<(), MemError> {
+        let i = self.ensure(addr)?;
+        self.full[i] = full;
+        Ok(())
+    }
+
+    /// Marks `[addr, addr+len)` empty — used to initialize synchronization
+    /// cells (flags, produced-once slots).
+    ///
+    /// # Errors
+    /// [`MemError::OutOfBounds`] beyond [`MAX_WORDS`].
+    pub fn set_empty(&mut self, addr: u64, len: u64) -> Result<(), MemError> {
+        for a in addr..addr + len {
+            self.set_full_bit(a, false)?;
+        }
+        Ok(())
+    }
+
+    /// Number of words currently materialized.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when no word has been materialized.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_memory_reads_zero_and_full() {
+        let mut m = Memory::default();
+        assert_eq!(m.read(100).unwrap(), Value::Int(0));
+        assert!(m.is_full(100).unwrap());
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut m = Memory::with_size(8);
+        m.write(3, Value::Float(2.5)).unwrap();
+        assert_eq!(m.read(3).unwrap(), Value::Float(2.5));
+        assert_eq!(m.len(), 8);
+    }
+
+    #[test]
+    fn presence_bits_are_independent_of_values() {
+        let mut m = Memory::default();
+        m.write(5, Value::Int(9)).unwrap();
+        m.set_full_bit(5, false).unwrap();
+        assert_eq!(m.read(5).unwrap(), Value::Int(9));
+        assert!(!m.is_full(5).unwrap());
+    }
+
+    #[test]
+    fn set_empty_range() {
+        let mut m = Memory::default();
+        m.set_empty(10, 4).unwrap();
+        for a in 10..14 {
+            assert!(!m.is_full(a).unwrap());
+        }
+        assert!(m.is_full(14).unwrap());
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut m = Memory::default();
+        let err = m.read(MAX_WORDS).unwrap_err();
+        assert!(matches!(err, MemError::OutOfBounds { .. }));
+        assert!(err.to_string().contains("exceeds"));
+        assert!(m.write(u64::MAX, Value::Int(0)).is_err());
+    }
+
+    #[test]
+    fn with_size_caps_at_max() {
+        let m = Memory::with_size(4);
+        assert!(!m.is_empty());
+        assert_eq!(m.len(), 4);
+    }
+}

@@ -1,0 +1,60 @@
+//! Memory-system statistics.
+
+/// Counters accumulated by a [`crate::MemorySystem`] over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Load references completed.
+    pub loads: u64,
+    /// Store references completed.
+    pub stores: u64,
+    /// References that missed the (statistical) cache.
+    pub misses: u64,
+    /// References that parked at least once on an unsatisfied
+    /// full/empty precondition.
+    pub parked: u64,
+    /// Total cycles references spent parked.
+    pub parked_cycles: u64,
+    /// Peak number of simultaneously in-flight references.
+    pub peak_in_flight: usize,
+    /// Cycles references waited for a busy interleaved bank (0 when bank
+    /// conflicts are not modeled).
+    pub bank_wait_cycles: u64,
+}
+
+impl MemStats {
+    /// Total completed references.
+    pub fn total(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Observed miss rate over completed references.
+    pub fn miss_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.total() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_rates() {
+        let s = MemStats {
+            loads: 6,
+            stores: 4,
+            misses: 2,
+            ..MemStats::default()
+        };
+        assert_eq!(s.total(), 10);
+        assert!((s.miss_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rate_is_zero() {
+        assert_eq!(MemStats::default().miss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,476 @@
+//! The split-transaction engine tying memory, latency model and
+//! synchronization parking together.
+//!
+//! Memory units submit references tagged with caller-chosen ids; the
+//! engine holds each reference for its sampled latency, then attempts it.
+//! A reference whose full/empty precondition is unsatisfied **parks** at
+//! its address ("memory operations that must wait for synchronization are
+//! held in the memory system"); when a subsequent reference flips that
+//! location's bit, parked references reactivate and complete — the paper's
+//! split-transaction protocol. The submitting unit is free to issue other
+//! operations meanwhile.
+
+use crate::latency::LatencySampler;
+use crate::memory::{MemError, Memory};
+use crate::stats::MemStats;
+use pc_isa::{LoadFlavor, MemoryModel, StoreFlavor, Value};
+use std::collections::{HashMap, VecDeque};
+
+/// What a memory reference does once its latency elapses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RequestKind {
+    /// Read a word into a register (flavor per Table 1).
+    Load(LoadFlavor),
+    /// Write a word (flavor per Table 1).
+    Store(StoreFlavor, Value),
+}
+
+/// A finished reference, handed back to the submitting unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemCompletion {
+    /// The id given at submission.
+    pub id: u64,
+    /// The loaded value (`None` for stores).
+    pub value: Option<Value>,
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    id: u64,
+    addr: u64,
+    kind: RequestKind,
+    ready: u64,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Parked {
+    id: u64,
+    kind: RequestKind,
+    since: u64,
+}
+
+/// The memory system: word array + latency model + parking.
+///
+/// Drive it with [`MemorySystem::submit`] when a memory unit issues a
+/// reference and [`MemorySystem::tick`] once per simulated cycle.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    mem: Memory,
+    latency: LatencySampler,
+    in_flight: Vec<InFlight>,
+    parked: HashMap<u64, VecDeque<Parked>>,
+    stats: MemStats,
+    seq: u64,
+    /// Next free cycle per interleaved bank (empty = no bank conflicts).
+    bank_free: Vec<u64>,
+}
+
+impl MemorySystem {
+    /// Creates a memory system of `size` pre-materialized words using the
+    /// given latency `model`, with a deterministic RNG `seed`.
+    pub fn new(model: MemoryModel, size: u64, seed: u64) -> Self {
+        MemorySystem {
+            mem: Memory::with_size(size),
+            latency: LatencySampler::new(model, seed),
+            in_flight: Vec::new(),
+            parked: HashMap::new(),
+            stats: MemStats::default(),
+            seq: 0,
+            bank_free: vec![0; model.banks as usize],
+        }
+    }
+
+    /// Submits a reference at cycle `now`. Its latency is sampled
+    /// immediately; it will complete (or park) at `now + latency`, plus
+    /// any wait for its interleaved bank when bank conflicts are modeled.
+    pub fn submit(&mut self, now: u64, id: u64, addr: u64, kind: RequestKind) {
+        let lat = self.latency.sample() as u64;
+        // Bank serialization: one reference per bank per cycle.
+        let start = if self.bank_free.is_empty() {
+            now
+        } else {
+            let b = (addr % self.bank_free.len() as u64) as usize;
+            let start = now.max(self.bank_free[b]);
+            self.bank_free[b] = start + 1;
+            self.stats.bank_wait_cycles += start - now;
+            start
+        };
+        self.in_flight.push(InFlight {
+            id,
+            addr,
+            kind,
+            ready: start + lat,
+            seq: self.seq,
+        });
+        self.seq += 1;
+        let outstanding = self.in_flight.len() + self.parked.values().map(VecDeque::len).sum::<usize>();
+        self.stats.peak_in_flight = self.stats.peak_in_flight.max(outstanding);
+    }
+
+    /// Advances to cycle `now`: attempts every reference whose latency has
+    /// elapsed, applies Table 1 semantics, parks blocked references and
+    /// wakes parked ones whose precondition became satisfiable. Returns
+    /// completions in deterministic (submission) order.
+    ///
+    /// # Errors
+    /// Propagates [`MemError::OutOfBounds`] for wild addresses.
+    pub fn tick(&mut self, now: u64) -> Result<Vec<MemCompletion>, MemError> {
+        let mut due: Vec<InFlight> = Vec::new();
+        let mut rest = Vec::with_capacity(self.in_flight.len());
+        for f in self.in_flight.drain(..) {
+            if f.ready <= now {
+                due.push(f);
+            } else {
+                rest.push(f);
+            }
+        }
+        self.in_flight = rest;
+        due.sort_by_key(|f| f.seq);
+
+        let mut done = Vec::new();
+        for f in due {
+            self.attempt(now, f.id, f.addr, f.kind, false, &mut done)?;
+        }
+        Ok(done)
+    }
+
+    /// Attempts one reference; on success also drains any parked references
+    /// newly enabled at the same address (recursively, FIFO).
+    fn attempt(
+        &mut self,
+        now: u64,
+        id: u64,
+        addr: u64,
+        kind: RequestKind,
+        was_parked: bool,
+        done: &mut Vec<MemCompletion>,
+    ) -> Result<(), MemError> {
+        let full = self.mem.is_full(addr)?;
+        let (precondition_met, flips_bit) = match kind {
+            RequestKind::Load(LoadFlavor::Plain) => (true, false),
+            RequestKind::Load(LoadFlavor::WaitFull) => (full, false),
+            RequestKind::Load(LoadFlavor::Consume) => (full, true),
+            RequestKind::Store(StoreFlavor::Plain, _) => (true, !full),
+            RequestKind::Store(StoreFlavor::WaitFull, _) => (full, false),
+            RequestKind::Store(StoreFlavor::Produce, _) => (!full, true),
+        };
+        if !precondition_met {
+            if !was_parked {
+                self.stats.parked += 1;
+            }
+            self.parked
+                .entry(addr)
+                .or_default()
+                .push_back(Parked { id, kind, since: now });
+            return Ok(());
+        }
+        // Perform the access.
+        let value = match kind {
+            RequestKind::Load(flavor) => {
+                let v = self.mem.read(addr)?;
+                if flavor == LoadFlavor::Consume {
+                    self.mem.set_full_bit(addr, false)?;
+                }
+                self.stats.loads += 1;
+                Some(v)
+            }
+            RequestKind::Store(flavor, v) => {
+                self.mem.write(addr, v)?;
+                match flavor {
+                    StoreFlavor::Plain | StoreFlavor::Produce => {
+                        self.mem.set_full_bit(addr, true)?;
+                    }
+                    StoreFlavor::WaitFull => {}
+                }
+                self.stats.stores += 1;
+                None
+            }
+        };
+        done.push(MemCompletion { id, value });
+        // A bit transition may enable parked references at this address.
+        if flips_bit {
+            self.wake(now, addr, done)?;
+        }
+        Ok(())
+    }
+
+    /// Re-attempts parked references at `addr` in FIFO order until one
+    /// blocks again or the queue drains.
+    fn wake(&mut self, now: u64, addr: u64, done: &mut Vec<MemCompletion>) -> Result<(), MemError> {
+        while let Some(p) = self.parked.get_mut(&addr).and_then(VecDeque::pop_front) {
+            self.stats.parked_cycles += now.saturating_sub(p.since);
+            let before = done.len();
+            self.attempt(now, p.id, addr, p.kind, true, done)?;
+            // If it re-parked (no completion emitted), stop: the head of the
+            // queue still blocks, so later entries of the same queue would
+            // starve it if we kept going.
+            if done.len() == before {
+                break;
+            }
+        }
+        if self.parked.get(&addr).is_some_and(VecDeque::is_empty) {
+            self.parked.remove(&addr);
+        }
+        Ok(())
+    }
+
+    /// Reads a word directly (harness initialization / result extraction).
+    ///
+    /// # Errors
+    /// [`MemError::OutOfBounds`] for wild addresses.
+    pub fn read_word(&mut self, addr: u64) -> Result<Value, MemError> {
+        self.mem.read(addr)
+    }
+
+    /// Writes a word directly and marks it full (harness initialization).
+    ///
+    /// # Errors
+    /// [`MemError::OutOfBounds`] for wild addresses.
+    pub fn write_word(&mut self, addr: u64, value: Value) -> Result<(), MemError> {
+        self.mem.write(addr, value)?;
+        self.mem.set_full_bit(addr, true)
+    }
+
+    /// Marks `[addr, addr+len)` empty (initializing synchronization cells).
+    ///
+    /// # Errors
+    /// [`MemError::OutOfBounds`] for wild addresses.
+    pub fn set_empty(&mut self, addr: u64, len: u64) -> Result<(), MemError> {
+        self.mem.set_empty(addr, len)
+    }
+
+    /// The presence bit at `addr`.
+    ///
+    /// # Errors
+    /// [`MemError::OutOfBounds`] for wild addresses.
+    pub fn is_full(&mut self, addr: u64) -> Result<bool, MemError> {
+        self.mem.is_full(addr)
+    }
+
+    /// Number of references currently parked on synchronization.
+    pub fn parked_count(&self) -> usize {
+        self.parked.values().map(VecDeque::len).sum()
+    }
+
+    /// Number of references in flight (latency not yet elapsed).
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// True when no reference is in flight or parked.
+    pub fn quiescent(&self) -> bool {
+        self.in_flight.is_empty() && self.parked.is_empty()
+    }
+
+    /// Accumulated statistics (misses are tracked by the sampler).
+    pub fn stats(&self) -> MemStats {
+        MemStats {
+            misses: self.latency_misses(),
+            ..self.stats
+        }
+    }
+
+    fn latency_misses(&self) -> u64 {
+        self.latency.misses()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn min_sys() -> MemorySystem {
+        MemorySystem::new(MemoryModel::min(), 64, 0)
+    }
+
+    /// Drains completions for up to `cycles` ticks starting at `from`.
+    fn run(m: &mut MemorySystem, from: u64, cycles: u64) -> Vec<MemCompletion> {
+        let mut all = Vec::new();
+        for c in from..from + cycles {
+            all.extend(m.tick(c).unwrap());
+        }
+        all
+    }
+
+    #[test]
+    fn plain_store_then_load() {
+        let mut m = min_sys();
+        m.submit(0, 1, 8, RequestKind::Store(StoreFlavor::Plain, Value::Int(42)));
+        let done = run(&mut m, 0, 2);
+        assert_eq!(done, vec![MemCompletion { id: 1, value: None }]);
+        m.submit(2, 2, 8, RequestKind::Load(LoadFlavor::Plain));
+        let done = run(&mut m, 2, 2);
+        assert_eq!(done[0].value, Some(Value::Int(42)));
+    }
+
+    #[test]
+    fn consume_blocks_until_produced() {
+        let mut m = min_sys();
+        m.set_empty(5, 1).unwrap();
+        m.submit(0, 1, 5, RequestKind::Load(LoadFlavor::Consume));
+        assert!(run(&mut m, 0, 5).is_empty());
+        assert_eq!(m.parked_count(), 1);
+
+        m.submit(5, 2, 5, RequestKind::Store(StoreFlavor::Produce, Value::Int(7)));
+        let done = run(&mut m, 5, 3);
+        // Store completes, then the parked consume wakes in the same tick.
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].id, 2);
+        assert_eq!(done[1], MemCompletion { id: 1, value: Some(Value::Int(7)) });
+        // The consume re-emptied the cell.
+        assert!(!m.is_full(5).unwrap());
+        assert!(m.quiescent());
+    }
+
+    #[test]
+    fn produce_blocks_until_consumed() {
+        let mut m = min_sys();
+        // Location starts full: a produce must wait for empty.
+        m.write_word(9, Value::Int(1)).unwrap();
+        m.submit(0, 1, 9, RequestKind::Store(StoreFlavor::Produce, Value::Int(2)));
+        assert!(run(&mut m, 0, 3).is_empty());
+        m.submit(3, 2, 9, RequestKind::Load(LoadFlavor::Consume));
+        let done = run(&mut m, 3, 3);
+        assert_eq!(done.len(), 2);
+        // Consume got the OLD value, then the produce completed.
+        assert_eq!(done[0], MemCompletion { id: 2, value: Some(Value::Int(1)) });
+        assert_eq!(done[1], MemCompletion { id: 1, value: None });
+        assert!(m.is_full(9).unwrap());
+        assert_eq!(m.read_word(9).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn wait_full_load_leaves_bit_full() {
+        let mut m = min_sys();
+        m.write_word(3, Value::Float(1.5)).unwrap();
+        m.submit(0, 1, 3, RequestKind::Load(LoadFlavor::WaitFull));
+        let done = run(&mut m, 0, 2);
+        assert_eq!(done[0].value, Some(Value::Float(1.5)));
+        assert!(m.is_full(3).unwrap());
+    }
+
+    #[test]
+    fn wait_full_store_updates_in_place() {
+        let mut m = min_sys();
+        m.set_empty(4, 1).unwrap();
+        m.submit(0, 1, 4, RequestKind::Store(StoreFlavor::WaitFull, Value::Int(5)));
+        assert!(run(&mut m, 0, 3).is_empty());
+        // Fill it: the waiting update then lands and leaves it full.
+        m.submit(3, 2, 4, RequestKind::Store(StoreFlavor::Plain, Value::Int(1)));
+        let done = run(&mut m, 3, 3);
+        assert_eq!(done.len(), 2);
+        assert_eq!(m.read_word(4).unwrap(), Value::Int(5));
+        assert!(m.is_full(4).unwrap());
+    }
+
+    #[test]
+    fn producer_consumer_chain_across_waiters() {
+        let mut m = min_sys();
+        m.set_empty(0, 1).unwrap();
+        // Two consumers queue up first.
+        m.submit(0, 1, 0, RequestKind::Load(LoadFlavor::Consume));
+        m.submit(0, 2, 0, RequestKind::Load(LoadFlavor::Consume));
+        assert!(run(&mut m, 0, 2).is_empty());
+        assert_eq!(m.parked_count(), 2);
+        // One produce wakes exactly one consumer (the first, FIFO).
+        m.submit(2, 3, 0, RequestKind::Store(StoreFlavor::Produce, Value::Int(10)));
+        let done = run(&mut m, 2, 2);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[1], MemCompletion { id: 1, value: Some(Value::Int(10)) });
+        assert_eq!(m.parked_count(), 1);
+        // Second produce frees the second consumer.
+        m.submit(4, 4, 0, RequestKind::Store(StoreFlavor::Produce, Value::Int(11)));
+        let done = run(&mut m, 4, 2);
+        assert_eq!(done[1], MemCompletion { id: 2, value: Some(Value::Int(11)) });
+        assert!(m.quiescent());
+    }
+
+    #[test]
+    fn lock_discipline_with_consume_and_plain_store() {
+        // A mutex: full = unlocked. acquire = consume, release = plain store.
+        let mut m = min_sys();
+        m.write_word(20, Value::Int(0)).unwrap();
+        m.submit(0, 1, 20, RequestKind::Load(LoadFlavor::Consume)); // t1 acquires
+        m.submit(0, 2, 20, RequestKind::Load(LoadFlavor::Consume)); // t2 blocks
+        let done = run(&mut m, 0, 3);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, 1);
+        assert_eq!(m.parked_count(), 1);
+        m.submit(3, 3, 20, RequestKind::Store(StoreFlavor::Plain, Value::Int(0))); // t1 releases
+        let done = run(&mut m, 3, 2);
+        assert_eq!(done.len(), 2); // release + t2's acquire
+        assert_eq!(done[1].id, 2);
+    }
+
+    #[test]
+    fn latency_defers_completion() {
+        let model = MemoryModel {
+            hit_latency: 4,
+            miss_rate: 0.0,
+            miss_penalty: (0, 0),
+            banks: 0,
+        };
+        let mut m = MemorySystem::new(model, 16, 0);
+        m.submit(0, 1, 0, RequestKind::Load(LoadFlavor::Plain));
+        assert!(m.tick(1).unwrap().is_empty());
+        assert!(m.tick(2).unwrap().is_empty());
+        assert!(m.tick(3).unwrap().is_empty());
+        assert_eq!(m.tick(4).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut m = min_sys();
+        m.set_empty(1, 1).unwrap();
+        m.submit(0, 1, 1, RequestKind::Load(LoadFlavor::Consume));
+        let _ = run(&mut m, 0, 4);
+        m.submit(4, 2, 1, RequestKind::Store(StoreFlavor::Plain, Value::Int(1)));
+        let _ = run(&mut m, 4, 2);
+        let s = m.stats();
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.parked, 1);
+        assert!(s.parked_cycles >= 4);
+        assert!(s.peak_in_flight >= 1);
+    }
+
+    #[test]
+    fn bank_conflicts_serialize_same_bank_references() {
+        let model = MemoryModel::min().with_banks(4);
+        let mut m = MemorySystem::new(model, 64, 0);
+        // Four same-cycle references to bank 0 (addresses ≡ 0 mod 4).
+        for (i, addr) in [0u64, 4, 8, 12].iter().enumerate() {
+            m.submit(0, i as u64, *addr, RequestKind::Load(LoadFlavor::Plain));
+        }
+        // With min latency 1 they complete on cycles 1, 2, 3, 4.
+        let mut per_cycle = Vec::new();
+        for c in 1..=5 {
+            per_cycle.push(m.tick(c).unwrap().len());
+        }
+        assert_eq!(per_cycle, vec![1, 1, 1, 1, 0]);
+        assert_eq!(m.stats().bank_wait_cycles, 1 + 2 + 3);
+    }
+
+    #[test]
+    fn distinct_banks_proceed_in_parallel() {
+        let model = MemoryModel::min().with_banks(4);
+        let mut m = MemorySystem::new(model, 64, 0);
+        for (i, addr) in [0u64, 1, 2, 3].iter().enumerate() {
+            m.submit(0, i as u64, *addr, RequestKind::Load(LoadFlavor::Plain));
+        }
+        assert_eq!(m.tick(1).unwrap().len(), 4);
+        assert_eq!(m.stats().bank_wait_cycles, 0);
+    }
+
+    #[test]
+    fn completions_preserve_submission_order() {
+        let mut m = min_sys();
+        for i in 0..10 {
+            m.submit(0, i, 30 + i, RequestKind::Load(LoadFlavor::Plain));
+        }
+        let done = m.tick(1).unwrap();
+        let ids: Vec<u64> = done.iter().map(|c| c.id).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,166 @@
+//! Per-thread distributed register files with presence bits and an
+//! in-flight-writer scoreboard.
+
+use pc_isa::{RegId, Value};
+
+/// State of one register.
+#[derive(Debug, Clone, Copy)]
+struct RegState {
+    value: Value,
+    /// Presence (valid) bit: set by writeback, cleared at issue of a
+    /// writing operation.
+    present: bool,
+    /// Number of in-flight operations that will write this register.
+    writers: u8,
+}
+
+impl Default for RegState {
+    fn default() -> Self {
+        RegState {
+            value: Value::Int(0),
+            present: false,
+            writers: 0,
+        }
+    }
+}
+
+/// A thread's logical register set, distributed over all clusters it uses
+/// ("a thread's register set is distributed over all of the clusters that
+/// it uses").
+///
+/// Registers start *empty* (not present); `fork` arguments and writebacks
+/// fill them.
+#[derive(Debug, Clone, Default)]
+pub struct RegFileSet {
+    files: Vec<Vec<RegState>>,
+}
+
+impl RegFileSet {
+    /// Creates register files sized per cluster. `regs_per_cluster[c]` is
+    /// the file size in cluster `c`; missing entries mean zero registers.
+    pub fn new(regs_per_cluster: &[u32], n_clusters: usize) -> Self {
+        let mut files = Vec::with_capacity(n_clusters);
+        for c in 0..n_clusters {
+            let n = regs_per_cluster.get(c).copied().unwrap_or(0) as usize;
+            files.push(vec![RegState::default(); n]);
+        }
+        RegFileSet { files }
+    }
+
+    fn slot(&self, r: RegId) -> &RegState {
+        &self.files[r.cluster.0 as usize][r.index as usize]
+    }
+
+    fn slot_mut(&mut self, r: RegId) -> &mut RegState {
+        &mut self.files[r.cluster.0 as usize][r.index as usize]
+    }
+
+    /// True when the register holds valid data.
+    pub fn is_present(&self, r: RegId) -> bool {
+        self.slot(r).present
+    }
+
+    /// True when no in-flight operation targets the register.
+    pub fn no_writers(&self, r: RegId) -> bool {
+        self.slot(r).writers == 0
+    }
+
+    /// The current value (meaningful only when present).
+    pub fn value(&self, r: RegId) -> Value {
+        self.slot(r).value
+    }
+
+    /// Marks the register as the target of a newly issued operation:
+    /// clears presence and counts the writer.
+    pub fn begin_write(&mut self, r: RegId) {
+        let s = self.slot_mut(r);
+        s.present = false;
+        s.writers += 1;
+    }
+
+    /// Completes a write: stores the value, sets presence, releases the
+    /// writer.
+    ///
+    /// # Panics
+    /// Panics if no writer was registered (issue/writeback mismatch — a
+    /// simulator bug).
+    pub fn complete_write(&mut self, r: RegId, value: Value) {
+        let s = self.slot_mut(r);
+        assert!(s.writers > 0, "writeback without issue on {r}");
+        s.writers -= 1;
+        s.value = value;
+        s.present = true;
+    }
+
+    /// Directly installs a value with presence set and no writer
+    /// bookkeeping — used for `fork` arguments at thread start.
+    pub fn install(&mut self, r: RegId, value: Value) {
+        let s = self.slot_mut(r);
+        s.value = value;
+        s.present = true;
+        s.writers = 0;
+    }
+
+    /// Releases all storage (called when the thread halts).
+    pub fn clear(&mut self) {
+        self.files = Vec::new();
+    }
+
+    /// Peak register count over clusters (diagnostics).
+    pub fn peak_file_len(&self) -> usize {
+        self.files.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_isa::ClusterId;
+
+    fn r(c: u16, i: u32) -> RegId {
+        RegId::new(ClusterId(c), i)
+    }
+
+    #[test]
+    fn registers_start_empty() {
+        let rf = RegFileSet::new(&[2, 1], 3);
+        assert!(!rf.is_present(r(0, 0)));
+        assert!(rf.no_writers(r(0, 1)));
+        assert_eq!(rf.peak_file_len(), 2);
+    }
+
+    #[test]
+    fn write_protocol() {
+        let mut rf = RegFileSet::new(&[1], 1);
+        rf.begin_write(r(0, 0));
+        assert!(!rf.is_present(r(0, 0)));
+        assert!(!rf.no_writers(r(0, 0)));
+        rf.complete_write(r(0, 0), Value::Int(9));
+        assert!(rf.is_present(r(0, 0)));
+        assert!(rf.no_writers(r(0, 0)));
+        assert_eq!(rf.value(r(0, 0)), Value::Int(9));
+    }
+
+    #[test]
+    fn issue_clears_presence_of_prior_value() {
+        let mut rf = RegFileSet::new(&[1], 1);
+        rf.install(r(0, 0), Value::Int(1));
+        assert!(rf.is_present(r(0, 0)));
+        rf.begin_write(r(0, 0));
+        assert!(!rf.is_present(r(0, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "writeback without issue")]
+    fn unmatched_writeback_panics() {
+        let mut rf = RegFileSet::new(&[1], 1);
+        rf.complete_write(r(0, 0), Value::Int(1));
+    }
+
+    #[test]
+    fn clear_releases_storage() {
+        let mut rf = RegFileSet::new(&[64], 1);
+        rf.clear();
+        assert_eq!(rf.peak_file_len(), 0);
+    }
+}

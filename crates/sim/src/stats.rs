@@ -1,0 +1,145 @@
+//! Run statistics: the numbers the paper's tables and figures are built
+//! from.
+
+use pc_isa::UnitClass;
+use pc_memsys::MemStats;
+use pc_xconn::XconnStats;
+use std::collections::BTreeMap;
+
+/// One probe-marker event (`probe` operation) — used by the Table 3
+/// interference study to time loop iterations per thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeRecord {
+    /// Issuing thread.
+    pub thread: u32,
+    /// The probe's id.
+    pub id: u32,
+    /// Cycle at which the probe issued.
+    pub cycle: u64,
+}
+
+/// Statistics of one completed simulation.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Total cycles until the last thread halted.
+    pub cycles: u64,
+    /// Operations issued (the paper's dynamic operation count).
+    pub ops_issued: u64,
+    /// Operations issued per unit class.
+    pub ops_by_class: BTreeMap<UnitClass, u64>,
+    /// Operations issued per thread (indexed by thread id).
+    pub ops_by_thread: Vec<u64>,
+    /// Operations issued per function unit (indexed by `FuId`).
+    pub ops_by_unit: Vec<u64>,
+    /// Threads spawned over the run (including the initial thread).
+    pub threads_spawned: usize,
+    /// Probe events in issue order.
+    pub probes: Vec<ProbeRecord>,
+    /// Memory-system statistics.
+    pub mem: MemStats,
+    /// Interconnect contention statistics.
+    pub xconn: XconnStats,
+    /// Per-thread `(spawn cycle, halt cycle)` spans (halt = 0 if alive).
+    pub thread_spans: Vec<(u64, u64)>,
+    /// Cycles in which at least one operation issued.
+    pub busy_cycles: u64,
+    /// Peak simultaneously live threads.
+    pub peak_threads: usize,
+}
+
+impl RunStats {
+    /// Busy fraction of one function unit (issues / cycles).
+    pub fn unit_occupancy(&self, unit: pc_isa::FuId) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.ops_by_unit
+            .get(unit.0 as usize)
+            .map(|&n| n as f64 / self.cycles as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// Average operations of `class` issued per cycle — the paper's
+    /// "utilization" metric (e.g. FPU utilization 2.16 means 2.16 floating
+    /// point operations per cycle across all FPUs).
+    pub fn utilization(&self, class: UnitClass) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        *self.ops_by_class.get(&class).unwrap_or(&0) as f64 / self.cycles as f64
+    }
+
+    /// Cycles between consecutive probes with the same id on the same
+    /// thread — iteration times for the Table 3 study.
+    pub fn probe_intervals(&self, thread: u32, id: u32) -> Vec<u64> {
+        let cycles: Vec<u64> = self
+            .probes
+            .iter()
+            .filter(|p| p.thread == thread && p.id == id)
+            .map(|p| p.cycle)
+            .collect();
+        cycles.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// Number of probe events with the given id on the given thread.
+    pub fn probe_count(&self, thread: u32, id: u32) -> usize {
+        self.probes
+            .iter()
+            .filter(|p| p.thread == thread && p.id == id)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_divides_by_cycles() {
+        let mut s = RunStats {
+            cycles: 100,
+            ..RunStats::default()
+        };
+        s.ops_by_class.insert(UnitClass::Float, 250);
+        assert!((s.utilization(UnitClass::Float) - 2.5).abs() < 1e-12);
+        assert_eq!(s.utilization(UnitClass::Integer), 0.0);
+    }
+
+    #[test]
+    fn utilization_of_empty_run_is_zero() {
+        assert_eq!(RunStats::default().utilization(UnitClass::Float), 0.0);
+    }
+
+    #[test]
+    fn unit_occupancy_divides_per_unit_issues() {
+        let s = RunStats {
+            cycles: 50,
+            ops_by_unit: vec![25, 0, 10],
+            ..RunStats::default()
+        };
+        assert!((s.unit_occupancy(pc_isa::FuId(0)) - 0.5).abs() < 1e-12);
+        assert_eq!(s.unit_occupancy(pc_isa::FuId(1)), 0.0);
+        assert!((s.unit_occupancy(pc_isa::FuId(2)) - 0.2).abs() < 1e-12);
+        // Out-of-range units and empty runs are zero, not panics.
+        assert_eq!(s.unit_occupancy(pc_isa::FuId(9)), 0.0);
+        assert_eq!(RunStats::default().unit_occupancy(pc_isa::FuId(0)), 0.0);
+    }
+
+    #[test]
+    fn probe_intervals_are_per_thread_per_id() {
+        let s = RunStats {
+            probes: vec![
+                ProbeRecord { thread: 0, id: 1, cycle: 10 },
+                ProbeRecord { thread: 1, id: 1, cycle: 12 },
+                ProbeRecord { thread: 0, id: 1, cycle: 35 },
+                ProbeRecord { thread: 0, id: 2, cycle: 99 },
+                ProbeRecord { thread: 0, id: 1, cycle: 70 },
+            ],
+            ..RunStats::default()
+        };
+        assert_eq!(s.probe_intervals(0, 1), vec![25, 35]);
+        assert_eq!(s.probe_intervals(1, 1), Vec::<u64>::new());
+        assert_eq!(s.probe_count(0, 1), 3);
+        assert_eq!(s.probe_count(0, 2), 1);
+    }
+}

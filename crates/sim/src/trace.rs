@@ -1,0 +1,142 @@
+//! Issue tracing: per-cycle records of which thread ran what on which
+//! unit, and a renderer reproducing the interleaving diagrams of the
+//! paper's Figures 1 and 2.
+
+use pc_isa::{FuId, MachineConfig, UnitClass};
+use std::fmt::Write;
+
+/// One issued operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle of issue.
+    pub cycle: u64,
+    /// The function unit.
+    pub fu: FuId,
+    /// The issuing thread.
+    pub thread: u32,
+    /// The operation's mnemonic.
+    pub mnemonic: &'static str,
+    /// Row of the thread's segment the operation came from.
+    pub row: u32,
+}
+
+/// Renders the runtime interleaving as a cycle × function-unit grid —
+/// the bottom box of the paper's Figure 1. Cells show `t<thread>` and
+/// the mnemonic; empty cells are idle slots.
+pub fn render_interleaving(
+    config: &MachineConfig,
+    events: &[TraceEvent],
+    cycles: std::ops::Range<u64>,
+) -> String {
+    let units = config.units();
+    let mut s = String::new();
+    write!(s, "{:>5} |", "cycle").unwrap();
+    for u in units {
+        write!(s, " {:>10} |", format!("{}:{}", u.id, u.class.label())).unwrap();
+    }
+    s.push('\n');
+    let width = 8 + units.len() * 13;
+    s.push_str(&"-".repeat(width));
+    s.push('\n');
+    for cycle in cycles {
+        write!(s, "{cycle:>5} |").unwrap();
+        for u in units {
+            let cell = events
+                .iter()
+                .find(|e| e.cycle == cycle && e.fu == u.id)
+                .map(|e| format!("t{} {}", e.thread, e.mnemonic))
+                .unwrap_or_default();
+            write!(s, " {cell:>10} |").unwrap();
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Renders the mapping of function units to threads for one cycle — the
+/// paper's Figure 2. Units that issued nothing map to `-`.
+pub fn render_unit_mapping(config: &MachineConfig, events: &[TraceEvent], cycle: u64) -> String {
+    let mut s = format!("cycle {cycle}: ");
+    for u in config.units() {
+        let owner = events
+            .iter()
+            .find(|e| e.cycle == cycle && e.fu == u.id)
+            .map(|e| format!("t{}", e.thread))
+            .unwrap_or_else(|| "-".to_string());
+        write!(s, "{}:{}={} ", u.id, u.class.label(), owner).unwrap();
+    }
+    s.trim_end().to_string()
+}
+
+/// Summary: operations issued per `(unit class, thread)` — a quick view
+/// of how the machine was shared.
+pub fn sharing_summary(
+    config: &MachineConfig,
+    events: &[TraceEvent],
+) -> Vec<(UnitClass, u32, usize)> {
+    let mut out: Vec<(UnitClass, u32, usize)> = Vec::new();
+    for e in events {
+        let class = config.fu(e.fu).class;
+        if let Some(slot) = out
+            .iter_mut()
+            .find(|(c, t, _)| *c == class && *t == e.thread)
+        {
+            slot.2 += 1;
+        } else {
+            out.push((class, e.thread, 1));
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, fu: u16, thread: u32, mnemonic: &'static str) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            fu: FuId(fu),
+            thread,
+            mnemonic,
+            row: 0,
+        }
+    }
+
+    #[test]
+    fn interleaving_grid_places_events() {
+        let mc = MachineConfig::baseline();
+        let events = vec![ev(0, 0, 0, "add"), ev(0, 1, 1, "fmul"), ev(1, 0, 1, "sub")];
+        let s = render_interleaving(&mc, &events, 0..2);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // header + rule + 2 cycles
+        assert!(lines[2].contains("t0 add"));
+        assert!(lines[2].contains("t1 fmul"));
+        assert!(lines[3].contains("t1 sub"));
+    }
+
+    #[test]
+    fn unit_mapping_shows_owners_and_idles() {
+        let mc = MachineConfig::baseline();
+        let events = vec![ev(5, 0, 2, "add")];
+        let s = render_unit_mapping(&mc, &events, 5);
+        assert!(s.contains("u0:IU=t2"));
+        assert!(s.contains("u1:FPU=-"));
+    }
+
+    #[test]
+    fn sharing_summary_counts() {
+        let mc = MachineConfig::baseline();
+        let events = vec![
+            ev(0, 0, 0, "add"),
+            ev(1, 0, 0, "add"),
+            ev(1, 3, 1, "add"),
+            ev(2, 1, 0, "fmul"),
+        ];
+        let s = sharing_summary(&mc, &events);
+        assert!(s.contains(&(UnitClass::Integer, 0, 2)));
+        assert!(s.contains(&(UnitClass::Integer, 1, 1)));
+        assert!(s.contains(&(UnitClass::Float, 0, 1)));
+    }
+}

@@ -1,0 +1,14 @@
+//! Ablation studies of the mechanisms behind the paper's results: what
+//! intra-row slip, dual register destinations, arbitration policy and
+//! writeback buffering each contribute.
+//!
+//! ```sh
+//! cargo run --release --example ablations
+//! ```
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for study in coupling::experiments::ablation::run_all()? {
+        println!("{}", study.render());
+    }
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Inspect the compiler's static schedules: prints the wide-instruction
+//! assembly a benchmark compiles to under both cluster-restriction modes.
+//!
+//! ```sh
+//! cargo run --release --example inspect_schedule [matrix|fft|lud|model] [--threaded]
+//! ```
+//!
+//! Each `.row` is one wide instruction: operations that may issue in the
+//! same cycle, one slot per function unit (`u0`–`u13` on the baseline
+//! machine). Watch for dual-destination writes (`-> c0.r5, c4.r0`) that
+//! forward values straight into other clusters' register files — the
+//! coupling mechanism — and for the `mov` operations the compiler inserts
+//! when a second destination is not enough.
+
+use coupling::benchmarks;
+use pc_compiler::{compile, ScheduleMode};
+use pc_isa::{MachineConfig, SegmentId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("lud");
+    let threaded = args.iter().any(|a| a == "--threaded");
+    let b = match which {
+        "matrix" => benchmarks::matrix(),
+        "fft" => benchmarks::fft(),
+        "model" => benchmarks::model(),
+        _ => benchmarks::lud(),
+    };
+    let src = if threaded { &b.threaded_src } else { &b.seq_src };
+    for (mode, label) in [
+        (ScheduleMode::Single, "SINGLE (one cluster per thread: SEQ/TPE)"),
+        (
+            ScheduleMode::Unrestricted,
+            "UNRESTRICTED (all clusters: STS/Coupled)",
+        ),
+    ] {
+        let out = compile(src, &MachineConfig::baseline(), mode)?;
+        println!("==== {}: {label} ====", b.name);
+        for (i, info) in out.info.iter().enumerate() {
+            println!(
+                "-- segment {} '{}': {} rows, {} ops, regs/cluster {:?}",
+                i, info.name, info.rows, info.ops, info.regs_per_cluster
+            );
+            if i == 0 || threaded {
+                println!(
+                    "{}",
+                    pc_asm::print_segment(out.program.segment(SegmentId(i as u32)))
+                );
+            }
+        }
+    }
+    Ok(())
+}

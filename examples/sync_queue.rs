@@ -1,0 +1,49 @@
+//! Full/empty-bit synchronization: a work queue whose head cell's
+//! presence bit *is* the lock (the paper's Table 1 memory operations in
+//! action, as used by the Table 3 interference study).
+//!
+//! Four threads race to dequeue device ids:
+//! * `consume` (load: wait-full, set-empty) atomically takes the head —
+//!   everyone else parks inside the memory system;
+//! * `produce` (store: wait-empty, set-full) puts the incremented head
+//!   back, waking exactly one parked consumer.
+//!
+//! ```sh
+//! cargo run --release --example sync_queue
+//! ```
+
+use coupling::benchmarks::model_queue_coupled;
+use coupling::{run_benchmark, MachineMode};
+use pc_isa::{ArbitrationPolicy, MachineConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("4 worker threads × shared queue of 20 device evaluations\n");
+    for (label, policy) in [
+        ("round-robin arbitration", ArbitrationPolicy::RoundRobin),
+        ("fixed-priority arbitration", ArbitrationPolicy::FixedPriority),
+    ] {
+        let config = MachineConfig::baseline().with_arbitration(policy);
+        let out = run_benchmark(&model_queue_coupled(), MachineMode::Coupled, config)?;
+        println!("{label}: {} cycles total", out.stats.cycles);
+        // Workers are threads 1..=4 (spawn order); probe id 1 marks each
+        // dequeue.
+        for t in 1..=4u32 {
+            let n = out.stats.probe_count(t, 1);
+            let intervals = out.stats.probe_intervals(t, 1);
+            let mean = if intervals.is_empty() {
+                0.0
+            } else {
+                intervals.iter().sum::<u64>() as f64 / intervals.len() as f64
+            };
+            println!("  worker {t}: {n:>2} devices, {mean:>6.1} cycles/iteration");
+        }
+        println!(
+            "  memory system: {} references parked on full/empty bits\n",
+            out.stats.mem.parked
+        );
+    }
+    println!("Under fixed priority the high-priority workers dequeue more");
+    println!("devices and run closer to their compile-time schedules — the");
+    println!("interference the paper measures in Table 3.");
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! # processor-coupling
+//!
+//! Umbrella crate for the reproduction of Keckler & Dally, *Processor
+//! Coupling: Integrating Compile Time and Runtime Scheduling for
+//! Parallelism* (ISCA 1992). It re-exports the workspace crates so
+//! downstream users can depend on a single package:
+//!
+//! * [`isa`] — instruction set & machine model (`pc-isa`)
+//! * [`memsys`] — memory system with full/empty bits (`pc-memsys`)
+//! * [`xconn`] — unit interconnection network (`pc-xconn`)
+//! * [`sim`] — the processor-coupled node simulator (`pc-sim`)
+//! * [`compiler`] — the source-language compiler (`pc-compiler`)
+//! * [`asm`] — textual assembly (`pc-asm`)
+//! * [`coupling`] — benchmarks, machine modes, experiment harness
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and
+//! `examples/paper_tables.rs` to regenerate every table and figure of the
+//! paper.
+
+pub use coupling;
+pub use pc_asm as asm;
+pub use pc_compiler as compiler;
+pub use pc_isa as isa;
+pub use pc_memsys as memsys;
+pub use pc_sim as sim;
+pub use pc_xconn as xconn;

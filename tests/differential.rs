@@ -1,0 +1,128 @@
+//! Differential testing: the AST interpreter (an independent execution
+//! path with sequential-eager thread semantics) must produce the exact
+//! final memory image that the full compile-and-simulate pipeline does,
+//! for every benchmark and source variant.
+
+use coupling::{benchmarks, MachineMode};
+use pc_compiler::front;
+use pc_compiler::interp::Interp;
+use pc_compiler::{compile, ScheduleMode};
+use pc_isa::{MachineConfig, Value};
+use pc_sim::Machine;
+
+/// Runs one benchmark variant both ways and compares every memory word.
+fn differential(bench: &coupling::Benchmark, mode: MachineMode) {
+    let src = bench.source(mode).expect("variant exists");
+    let config = MachineConfig::baseline();
+    let out = compile(src, &config, mode.schedule_mode())
+        .unwrap_or_else(|e| panic!("{} {}: {e}", bench.name, mode.label()));
+    let size = out.program.memory_size;
+
+    // Simulator: set up inputs, snapshot the initial image, run.
+    let mut machine = Machine::new(config, out.program).unwrap();
+    (bench.setup)(&mut machine).unwrap();
+    let image: Vec<(Value, bool)> = (0..size)
+        .map(|a| {
+            (
+                machine.memory_mut().read_word(a).unwrap(),
+                machine.memory_mut().is_full(a).unwrap(),
+            )
+        })
+        .collect();
+    machine.run(20_000_000).unwrap();
+
+    // Interpreter: same module, same initial image.
+    let module = front::expand(src).unwrap();
+    let mut it = Interp::new(&module);
+    it.load_image(&image);
+    it.run(&module)
+        .unwrap_or_else(|e| panic!("{} {}: interpreter: {e}", bench.name, mode.label()));
+
+    for a in 0..size {
+        let sim_v = machine.memory_mut().read_word(a).unwrap();
+        let sim_f = machine.memory_mut().is_full(a).unwrap();
+        let (int_v, int_f) = it.word(a);
+        assert!(
+            sim_v.bit_eq(int_v),
+            "{} {}: word {a}: sim {sim_v:?} vs interp {int_v:?}",
+            bench.name,
+            mode.label()
+        );
+        assert_eq!(
+            sim_f,
+            int_f,
+            "{} {}: presence bit {a} differs",
+            bench.name,
+            mode.label()
+        );
+    }
+}
+
+#[test]
+fn matrix_differential() {
+    differential(&benchmarks::matrix(), MachineMode::Sts);
+    differential(&benchmarks::matrix(), MachineMode::Coupled);
+    differential(&benchmarks::matrix(), MachineMode::Ideal);
+}
+
+#[test]
+fn fft_differential() {
+    differential(&benchmarks::fft(), MachineMode::Sts);
+    differential(&benchmarks::fft(), MachineMode::Coupled);
+    differential(&benchmarks::fft(), MachineMode::Ideal);
+}
+
+#[test]
+fn lud_differential() {
+    differential(&benchmarks::lud(), MachineMode::Sts);
+    differential(&benchmarks::lud(), MachineMode::Coupled);
+}
+
+#[test]
+fn model_differential() {
+    differential(&benchmarks::model(), MachineMode::Sts);
+    differential(&benchmarks::model(), MachineMode::Coupled);
+}
+
+#[test]
+fn queue_variant_differential() {
+    // Sequential-eager semantics: worker 1 drains the whole queue; the
+    // others find it exhausted. Memory still ends identical because the
+    // devices are evaluated against the same voltages either way.
+    differential(&benchmarks::model_queue_coupled(), MachineMode::Coupled);
+}
+
+#[test]
+fn circuit_style_program_differential() {
+    // A fused program exercising fork + produce/consume + rolled loops.
+    let src = r#"
+        (global xs (array float 8))
+        (global partial (array float 2))
+        (global out (array float 1))
+        (defun main ()
+          (fork
+            (let ((s 0.0))
+              (for (i 0 4) (set s (+ s (aref xs i))))
+              (produce partial 0 s)))
+          (fork
+            (let ((s 0.0))
+              (for (i 4 8) (set s (+ s (aref xs i))))
+              (produce partial 1 s)))
+          (aset out 0 (+ (consume partial 0) (consume partial 1))))
+    "#;
+    let config = MachineConfig::baseline();
+    let out = compile(src, &config, ScheduleMode::Unrestricted).unwrap();
+    let mut machine = Machine::new(config, out.program).unwrap();
+    let xs: Vec<Value> = (0..8).map(|i| Value::Float(i as f64 * 0.125)).collect();
+    machine.write_global("xs", &xs).unwrap();
+    machine.set_global_empty("partial").unwrap();
+    machine.run(100_000).unwrap();
+
+    let module = front::expand(src).unwrap();
+    let mut it = Interp::new(&module);
+    it.write_global("xs", &xs);
+    it.set_global_empty("partial");
+    it.run(&module).unwrap();
+
+    assert!(machine.read_global("out").unwrap()[0].bit_eq(it.read_global("out")[0]));
+}

@@ -1,0 +1,158 @@
+//! End-to-end: every benchmark × every applicable machine mode compiles,
+//! simulates and validates numerically against its Rust reference.
+
+use coupling::{benchmarks, run_benchmark, MachineMode, RunError};
+use pc_isa::MachineConfig;
+
+fn run_all_modes(bench: coupling::Benchmark) {
+    for mode in MachineMode::all() {
+        match run_benchmark(&bench, mode, MachineConfig::baseline()) {
+            Ok(out) => {
+                assert!(out.stats.cycles > 0);
+                assert!(out.stats.ops_issued > 0);
+                if mode.is_threaded() {
+                    assert!(
+                        out.stats.threads_spawned > 1,
+                        "{} {mode} spawned no threads",
+                        bench.name
+                    );
+                } else {
+                    assert_eq!(out.stats.threads_spawned, 1, "{} {mode}", bench.name);
+                }
+            }
+            Err(RunError::Unsupported { .. }) => {
+                assert_eq!(mode, MachineMode::Ideal, "{}", bench.name);
+            }
+            Err(e) => panic!("{} {mode}: {e}", bench.name),
+        }
+    }
+}
+
+#[test]
+fn matrix_all_modes_validate() {
+    run_all_modes(benchmarks::matrix());
+}
+
+#[test]
+fn fft_all_modes_validate() {
+    run_all_modes(benchmarks::fft());
+}
+
+#[test]
+fn lud_all_modes_validate() {
+    run_all_modes(benchmarks::lud());
+}
+
+#[test]
+fn model_all_modes_validate() {
+    run_all_modes(benchmarks::model());
+}
+
+#[test]
+fn queue_variants_validate() {
+    let out = run_benchmark(
+        &benchmarks::model_queue_coupled(),
+        MachineMode::Coupled,
+        MachineConfig::baseline(),
+    )
+    .unwrap();
+    assert_eq!(out.stats.threads_spawned, 5); // main + 4 workers
+    let out = run_benchmark(
+        &benchmarks::model_queue_sts(),
+        MachineMode::Sts,
+        MachineConfig::baseline(),
+    )
+    .unwrap();
+    assert_eq!(out.stats.threads_spawned, 1);
+}
+
+#[test]
+fn benchmarks_validate_under_restricted_interconnect() {
+    // Restricting write ports changes timing, never results.
+    for scheme in pc_isa::InterconnectScheme::all() {
+        let config = MachineConfig::baseline().with_interconnect(scheme);
+        run_benchmark(&benchmarks::matrix(), MachineMode::Coupled, config.clone())
+            .unwrap_or_else(|e| panic!("{scheme}: {e}"));
+        run_benchmark(&benchmarks::fft(), MachineMode::Coupled, config)
+            .unwrap_or_else(|e| panic!("{scheme}: {e}"));
+    }
+}
+
+#[test]
+fn benchmarks_validate_under_long_latencies() {
+    // Random miss latencies change timing, never results.
+    for model in [pc_isa::MemoryModel::mem1(), pc_isa::MemoryModel::mem2()] {
+        for seed in [0, 1, 99] {
+            let config = MachineConfig::baseline().with_memory(model).with_seed(seed);
+            run_benchmark(&benchmarks::fft(), MachineMode::Coupled, config)
+                .unwrap_or_else(|e| panic!("{}/{seed}: {e}", model.label()));
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic_per_seed() {
+    let config = MachineConfig::baseline()
+        .with_memory(pc_isa::MemoryModel::mem2())
+        .with_seed(7);
+    let a = run_benchmark(&benchmarks::matrix(), MachineMode::Coupled, config.clone()).unwrap();
+    let b = run_benchmark(&benchmarks::matrix(), MachineMode::Coupled, config).unwrap();
+    assert_eq!(a.stats.cycles, b.stats.cycles);
+    assert_eq!(a.stats.ops_issued, b.stats.ops_issued);
+    assert_eq!(a.stats.mem.misses, b.stats.mem.misses);
+}
+
+#[test]
+fn different_seeds_change_timing_not_results() {
+    let mk = |seed| {
+        MachineConfig::baseline()
+            .with_memory(pc_isa::MemoryModel::mem2())
+            .with_seed(seed)
+    };
+    let a = run_benchmark(&benchmarks::matrix(), MachineMode::Coupled, mk(1)).unwrap();
+    let b = run_benchmark(&benchmarks::matrix(), MachineMode::Coupled, mk(2)).unwrap();
+    // Results validated inside run_benchmark; timings should differ.
+    assert_ne!(a.stats.cycles, b.stats.cycles);
+}
+
+#[test]
+fn partial_unroll_is_correct_end_to_end() {
+    // Same computation three ways: rolled, :unroll 4, :unroll full.
+    let body = "(aset out i (* (aref xs i) (aref xs i)))";
+    let variants = [
+        format!("(for (i 0 16) {body})"),
+        format!("(for (i 0 16) :unroll 4 {body})"),
+        format!("(for (i 0 16) :unroll full {body})"),
+    ];
+    let mut results: Vec<Vec<pc_isa::Value>> = Vec::new();
+    for v in &variants {
+        let src = format!(
+            "(global xs (array float 16)) (global out (array float 16)) (defun main () {v})"
+        );
+        let out = pc_compiler::compile(
+            &src,
+            &MachineConfig::baseline(),
+            pc_compiler::ScheduleMode::Unrestricted,
+        )
+        .unwrap();
+        let mut m = pc_sim::Machine::new(MachineConfig::baseline(), out.program).unwrap();
+        let xs: Vec<pc_isa::Value> = (0..16)
+            .map(|i| pc_isa::Value::Float(0.25 * i as f64 - 1.0))
+            .collect();
+        m.write_global("xs", &xs).unwrap();
+        m.run(100_000).unwrap();
+        results.push(m.read_global("out").unwrap());
+    }
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[0], results[2]);
+    assert_eq!(results[0][3], pc_isa::Value::Float((-0.25f64) * (-0.25)));
+}
+
+#[test]
+fn mix_configurations_run_matrix() {
+    for (iu, fpu) in [(1, 1), (1, 4), (4, 1), (2, 3)] {
+        let config = MachineConfig::with_mix(iu, fpu);
+        run_benchmark(&benchmarks::matrix(), MachineMode::Coupled, config)
+            .unwrap_or_else(|e| panic!("mix {iu}x{fpu}: {e}"));
+    }
+}

@@ -1,0 +1,134 @@
+//! The sample programs under `programs/` compile, run and produce the
+//! expected results (the same path `pcsim exec` takes).
+
+use pc_compiler::{compile, ScheduleMode};
+use pc_isa::{MachineConfig, Value};
+use pc_sim::Machine;
+
+fn exec(path: &str) -> Machine {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let config = MachineConfig::baseline();
+    let out = compile(&src, &config, ScheduleMode::Unrestricted)
+        .unwrap_or_else(|e| panic!("{path}: {e}"));
+    let mut m = Machine::new(config, out.program).unwrap();
+    m.run(50_000_000).unwrap_or_else(|e| panic!("{path}: {e}"));
+    m
+}
+
+fn floats(m: &mut Machine, name: &str) -> Vec<f64> {
+    m.read_global(name)
+        .unwrap()
+        .into_iter()
+        .map(|v| v.as_float().unwrap())
+        .collect()
+}
+
+#[test]
+fn dotprod_matches_reference() {
+    let mut m = exec("programs/dotprod.pc");
+    let want: f64 = (0..32)
+        .map(|i| (0.5 * i as f64) * (1.0 - 0.031_25 * i as f64))
+        .sum();
+    let got = floats(&mut m, "result")[0];
+    assert!((got - want).abs() < 1e-9, "got {got}, want {want}");
+}
+
+#[test]
+fn primes_counts_correctly() {
+    let mut m = exec("programs/primes.pc");
+    // Primes below 64: 2,3,5,7,...,61 — 18 of them.
+    assert_eq!(m.read_global("count").unwrap()[0], Value::Int(18));
+    // Spot-check the sieve itself.
+    let sieve = m.read_global("sieve").unwrap();
+    for (i, expected) in [(2, 1i64), (4, 0), (13, 1), (49, 0), (61, 1)] {
+        assert_eq!(sieve[i], Value::Int(expected), "sieve[{i}]");
+    }
+}
+
+#[test]
+fn mandelbrot_image_is_reasonable() {
+    let mut m = exec("programs/mandel.pc");
+    let img = m.read_global("image").unwrap();
+    // Mirror the escape-time loop in Rust.
+    let mut want = vec![0i64; 64];
+    for py in 0..8 {
+        for px in 0..8 {
+            let (cr, ci) = (-2.0 + 0.375 * px as f64, -1.5 + 0.375 * py as f64);
+            let (mut zr, mut zi, mut it, mut live) = (0.0f64, 0.0f64, 0i64, true);
+            while live && it < 16 {
+                let zr2 = zr * zr - zi * zi;
+                let zi2 = (2.0 * zr) * zi;
+                zr = zr2 + cr;
+                zi = zi2 + ci;
+                it += 1;
+                if zr * zr + zi * zi > 4.0 {
+                    live = false;
+                }
+            }
+            want[py * 8 + px] = it;
+        }
+    }
+    for i in 0..64 {
+        assert_eq!(img[i], Value::Int(want[i]), "pixel {i}");
+    }
+    // Interior pixels hit the iteration cap; exterior escape fast.
+    assert!(want.contains(&16));
+    assert!(want.iter().any(|&x| x < 4));
+}
+
+#[test]
+fn histogram_buckets_sum_to_n() {
+    let mut m = exec("programs/histogram.pc");
+    let hist = m.read_global("hist").unwrap();
+    let total: i64 = hist.iter().map(|v| v.as_int().unwrap()).sum();
+    assert_eq!(total, 64);
+    // (i*13) % 8 cycles through all residues uniformly: 8 per bucket.
+    for (b, v) in hist.iter().enumerate() {
+        assert_eq!(*v, Value::Int(8), "bucket {b}");
+    }
+}
+
+#[test]
+fn pipeline_accumulates_doubled_squares() {
+    let mut m = exec("programs/pipeline.pc");
+    let want: f64 = (0..10).map(|i| 2.0 * (i as f64) * (i as f64)).sum();
+    let got = floats(&mut m, "total")[0];
+    assert!((got - want).abs() < 1e-9, "got {got}, want {want}");
+}
+
+#[test]
+fn reduce_tree_sums_exactly() {
+    let mut m = exec("programs/reduce_tree.pc");
+    let want: f64 = (0..64).map(|i| 0.25 * i as f64).sum();
+    let got = floats(&mut m, "total")[0];
+    assert!((got - want).abs() < 1e-9, "got {got}, want {want}");
+}
+
+#[test]
+fn fib_fills_the_table() {
+    let mut m = exec("programs/fib.pc");
+    let fibs = m.read_global("fibs").unwrap();
+    let (mut a, mut b) = (0i64, 1i64);
+    for (i, v) in fibs.iter().enumerate() {
+        assert_eq!(*v, Value::Int(a), "fib[{i}]");
+        let next = a + b;
+        a = b;
+        b = next;
+    }
+    assert_eq!(fibs[19], Value::Int(4181));
+}
+
+#[test]
+fn all_programs_compile_in_both_modes() {
+    for entry in std::fs::read_dir("programs").unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("pc") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        for mode in [ScheduleMode::Single, ScheduleMode::Unrestricted] {
+            compile(&src, &MachineConfig::baseline(), mode)
+                .unwrap_or_else(|e| panic!("{path:?} {mode:?}: {e}"));
+        }
+    }
+}

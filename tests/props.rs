@@ -1,0 +1,330 @@
+//! Property-based tests spanning the whole pipeline.
+//!
+//! The central property: for random expression programs, **compiling and
+//! simulating produces exactly the value obtained by directly evaluating
+//! the expression tree** with the shared ISA semantics ([`pc_isa::op`]) —
+//! across cluster-restriction modes and interconnect schemes. This
+//! exercises the front end, optimizer (folding, CSE, coalescing, DCE),
+//! scheduler (partitioning, copy insertion, list scheduling), and the
+//! simulator's presence-bit/arbitration machinery in one go.
+
+use pc_compiler::{compile, ScheduleMode};
+use pc_isa::{op, FloatOp, IntOp, InterconnectScheme, MachineConfig, Value};
+use pc_sim::Machine;
+use proptest::prelude::*;
+
+/// A typed random expression over integer inputs `iv0..iv3` and float
+/// inputs `fv0..fv3` (stored in globals, so loads participate).
+#[derive(Debug, Clone)]
+enum IExpr {
+    Const(i64),
+    Input(usize),
+    Bin(IntOp, Box<IExpr>, Box<IExpr>),
+    Neg(Box<IExpr>),
+    OfFloat(Box<FExpr>),
+}
+
+#[derive(Debug, Clone)]
+enum FExpr {
+    Const(f64),
+    Input(usize),
+    Bin(FloatOp, Box<FExpr>, Box<FExpr>),
+    Neg(Box<FExpr>),
+    OfInt(Box<IExpr>),
+}
+
+const IOPS: [IntOp; 8] = [
+    IntOp::Add,
+    IntOp::Sub,
+    IntOp::Mul,
+    IntOp::And,
+    IntOp::Or,
+    IntOp::Xor,
+    IntOp::Shl,
+    IntOp::Shr,
+];
+const FOPS: [FloatOp; 4] = [FloatOp::Fadd, FloatOp::Fsub, FloatOp::Fmul, FloatOp::Fdiv];
+
+fn iexpr(depth: u32) -> BoxedStrategy<IExpr> {
+    let leaf = prop_oneof![
+        (-64i64..64).prop_map(IExpr::Const),
+        (0usize..4).prop_map(IExpr::Input),
+    ];
+    leaf.prop_recursive(depth, 32, 3, |inner| {
+        let floats = prop_oneof![
+            (-4.0f64..4.0).prop_map(FExpr::Const),
+            (0usize..4).prop_map(FExpr::Input),
+        ];
+        prop_oneof![
+            (
+                prop::sample::select(&IOPS[..]),
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| IExpr::Bin(op, Box::new(a), Box::new(b))),
+            inner.prop_map(|a| IExpr::Neg(Box::new(a))),
+            // Truncating float→int conversions participate too.
+            floats.prop_map(|a| IExpr::OfFloat(Box::new(a))),
+        ]
+    })
+    .boxed()
+}
+
+fn fexpr(depth: u32) -> BoxedStrategy<FExpr> {
+    let leaf = prop_oneof![
+        (-4.0f64..4.0).prop_map(FExpr::Const),
+        (0usize..4).prop_map(FExpr::Input),
+    ];
+    leaf.prop_recursive(depth, 32, 3, |inner| {
+        let ints = iexpr(2);
+        prop_oneof![
+            (
+                prop::sample::select(&FOPS[..]),
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| FExpr::Bin(op, Box::new(a), Box::new(b))),
+            inner.prop_map(|a| FExpr::Neg(Box::new(a))),
+            ints.prop_map(|a| FExpr::OfInt(Box::new(a))),
+        ]
+    })
+    .boxed()
+}
+
+/// Renders to the source language.
+fn irender(e: &IExpr) -> String {
+    match e {
+        IExpr::Const(c) => c.to_string(),
+        IExpr::Input(i) => format!("(aref ivs {i})"),
+        IExpr::Bin(op, a, b) => {
+            let sym = match op {
+                IntOp::Add => "+",
+                IntOp::Sub => "-",
+                IntOp::Mul => "*",
+                IntOp::And => "and",
+                IntOp::Or => "or",
+                IntOp::Xor => "xor",
+                IntOp::Shl => "shl",
+                IntOp::Shr => "shr",
+                _ => unreachable!(),
+            };
+            format!("({sym} {} {})", irender(a), irender(b))
+        }
+        IExpr::Neg(a) => format!("(- {})", irender(a)),
+        IExpr::OfFloat(a) => format!("(int {})", frender(a)),
+    }
+}
+
+fn frender(e: &FExpr) -> String {
+    match e {
+        FExpr::Const(c) => format!("{c:?}"),
+        FExpr::Input(i) => format!("(aref fvs {i})"),
+        FExpr::Bin(op, a, b) => {
+            let sym = match op {
+                FloatOp::Fadd => "+",
+                FloatOp::Fsub => "-",
+                FloatOp::Fmul => "*",
+                FloatOp::Fdiv => "/",
+                _ => unreachable!(),
+            };
+            format!("({sym} {} {})", frender(a), frender(b))
+        }
+        FExpr::Neg(a) => format!("(- {})", frender(a)),
+        FExpr::OfInt(a) => format!("(float {})", irender(a)),
+    }
+}
+
+/// Direct evaluation with the shared ISA semantics.
+fn ieval(e: &IExpr, ivs: &[i64], fvs: &[f64]) -> Value {
+    match e {
+        IExpr::Const(c) => Value::Int(*c),
+        IExpr::Input(i) => Value::Int(ivs[*i]),
+        IExpr::Bin(o, a, b) => {
+            op::eval_int(*o, &[ieval(a, ivs, fvs), ieval(b, ivs, fvs)]).unwrap()
+        }
+        IExpr::Neg(a) => op::eval_int(IntOp::Neg, &[ieval(a, ivs, fvs)]).unwrap(),
+        IExpr::OfFloat(a) => op::eval_float(FloatOp::Ftoi, &[feval(a, ivs, fvs)]).unwrap(),
+    }
+}
+
+fn feval(e: &FExpr, ivs: &[i64], fvs: &[f64]) -> Value {
+    match e {
+        FExpr::Const(c) => Value::Float(*c),
+        FExpr::Input(i) => Value::Float(fvs[*i]),
+        FExpr::Bin(o, a, b) => {
+            op::eval_float(*o, &[feval(a, ivs, fvs), feval(b, ivs, fvs)]).unwrap()
+        }
+        FExpr::Neg(a) => op::eval_float(FloatOp::Fneg, &[feval(a, ivs, fvs)]).unwrap(),
+        FExpr::OfInt(a) => op::eval_float(FloatOp::Itof, &[ieval(a, ivs, fvs)]).unwrap(),
+    }
+}
+
+fn run_case(
+    ie: &IExpr,
+    fe: &FExpr,
+    ivs: &[i64],
+    fvs: &[f64],
+    mode: ScheduleMode,
+    scheme: InterconnectScheme,
+) {
+    let src = format!(
+        "(global ivs (array int 4))
+         (global fvs (array float 4))
+         (global iout (array int 1))
+         (global fout (array float 1))
+         (defun main ()
+           (aset iout 0 {})
+           (aset fout 0 {}))",
+        irender(ie),
+        frender(fe),
+    );
+    let config = MachineConfig::baseline().with_interconnect(scheme);
+    let out = compile(&src, &config, mode).expect("compiles");
+    let mut m = Machine::new(config, out.program).expect("loads");
+    m.write_global("ivs", &ivs.iter().map(|&x| Value::Int(x)).collect::<Vec<_>>())
+        .unwrap();
+    m.write_global("fvs", &fvs.iter().map(|&x| Value::Float(x)).collect::<Vec<_>>())
+        .unwrap();
+    m.run(1_000_000).expect("runs");
+    let got_i = m.read_global("iout").unwrap()[0];
+    let got_f = m.read_global("fout").unwrap()[0];
+    let want_i = ieval(ie, ivs, fvs);
+    let want_f = feval(fe, ivs, fvs);
+    assert!(
+        got_i.bit_eq(want_i),
+        "int: got {got_i:?}, want {want_i:?}\n{src}"
+    );
+    assert!(
+        got_f.bit_eq(want_f),
+        "float: got {got_f:?}, want {want_f:?}\n{src}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Compiled+simulated == directly evaluated, single cluster.
+    #[test]
+    fn compiled_matches_reference_single(
+        ie in iexpr(4),
+        fe in fexpr(4),
+        ivs in prop::array::uniform4(-100i64..100),
+        fvs in prop::array::uniform4(-8.0f64..8.0),
+    ) {
+        run_case(&ie, &fe, &ivs, &fvs, ScheduleMode::Single, InterconnectScheme::Full);
+    }
+
+    /// Same across all clusters with communication inserted.
+    #[test]
+    fn compiled_matches_reference_unrestricted(
+        ie in iexpr(4),
+        fe in fexpr(4),
+        ivs in prop::array::uniform4(-100i64..100),
+        fvs in prop::array::uniform4(-8.0f64..8.0),
+    ) {
+        run_case(&ie, &fe, &ivs, &fvs, ScheduleMode::Unrestricted, InterconnectScheme::Full);
+    }
+
+    /// Restricted write ports change timing, never values.
+    #[test]
+    fn compiled_matches_reference_under_port_contention(
+        ie in iexpr(3),
+        fe in fexpr(3),
+        ivs in prop::array::uniform4(-100i64..100),
+        fvs in prop::array::uniform4(-8.0f64..8.0),
+        scheme in prop::sample::select(vec![
+            InterconnectScheme::Full,
+            InterconnectScheme::TriPort,
+            InterconnectScheme::DualPort,
+            InterconnectScheme::SinglePort,
+            InterconnectScheme::SharedBus,
+        ]),
+    ) {
+        run_case(&ie, &fe, &ivs, &fvs, ScheduleMode::Unrestricted, scheme);
+    }
+
+    /// Optimizations change schedules, never results: optimized and naive
+    /// compilations agree bit-for-bit.
+    #[test]
+    fn optimizer_is_semantics_preserving(
+        ie in iexpr(4),
+        fe in fexpr(4),
+        ivs in prop::array::uniform4(-100i64..100),
+        fvs in prop::array::uniform4(-8.0f64..8.0),
+    ) {
+        let src = format!(
+            "(global ivs (array int 4))
+             (global fvs (array float 4))
+             (global iout (array int 1))
+             (global fout (array float 1))
+             (defun main ()
+               (aset iout 0 {})
+               (aset fout 0 {}))",
+            irender(&ie),
+            frender(&fe),
+        );
+        let config = MachineConfig::baseline();
+        let mut results = Vec::new();
+        for optimize in [true, false] {
+            let out = pc_compiler::compile_with_options(
+                &src,
+                &config,
+                ScheduleMode::Unrestricted,
+                pc_compiler::CompileOptions { optimize, licm: false },
+            )
+            .expect("compiles");
+            let mut m = Machine::new(config.clone(), out.program).expect("loads");
+            m.write_global("ivs", &ivs.iter().map(|&x| Value::Int(x)).collect::<Vec<_>>())
+                .unwrap();
+            m.write_global("fvs", &fvs.iter().map(|&x| Value::Float(x)).collect::<Vec<_>>())
+                .unwrap();
+            m.run(1_000_000).expect("runs");
+            results.push((
+                m.read_global("iout").unwrap()[0],
+                m.read_global("fout").unwrap()[0],
+            ));
+        }
+        prop_assert!(results[0].0.bit_eq(results[1].0), "{:?}\n{src}", results);
+        prop_assert!(results[0].1.bit_eq(results[1].1), "{:?}\n{src}", results);
+    }
+
+    /// The assembler round-trips every compiled random program exactly.
+    #[test]
+    fn assembler_roundtrips_compiled_programs(
+        ie in iexpr(3),
+        fe in fexpr(3),
+    ) {
+        let src = format!(
+            "(global ivs (array int 4))
+             (global fvs (array float 4))
+             (global iout (array int 1))
+             (global fout (array float 1))
+             (defun main ()
+               (aset iout 0 {})
+               (aset fout 0 {}))",
+            irender(&ie),
+            frender(&fe),
+        );
+        let out = compile(&src, &MachineConfig::baseline(), ScheduleMode::Unrestricted)
+            .expect("compiles");
+        let text = pc_asm::print_program(&out.program);
+        let back = pc_asm::parse_program(&text).expect("parses");
+        prop_assert_eq!(out.program, back);
+    }
+}
+
+/// The four benchmarks' compiled forms also round-trip through the
+/// assembler (covers fork/probe/sync operations the generator doesn't).
+#[test]
+fn assembler_roundtrips_benchmark_programs() {
+    for b in coupling::benchmarks::all() {
+        for (label, src) in [("seq", &b.seq_src), ("threaded", &b.threaded_src)] {
+            let out = compile(src, &MachineConfig::baseline(), ScheduleMode::Unrestricted)
+                .unwrap_or_else(|e| panic!("{} {label}: {e}", b.name));
+            let text = pc_asm::print_program(&out.program);
+            let back = pc_asm::parse_program(&text)
+                .unwrap_or_else(|e| panic!("{} {label}: {e}", b.name));
+            assert_eq!(out.program, back, "{} {label}", b.name);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Property tests over random *structured* programs — assignments,
+//! conditionals and nested counted loops — compiled and simulated, then
+//! compared word-for-word against the AST interpreter. This exercises
+//! control-flow lowering, cross-block variable homes, branch scheduling
+//! and the simulator's branch machinery, far beyond straight-line code.
+
+use pc_compiler::front;
+use pc_compiler::interp::Interp;
+use pc_compiler::ScheduleMode;
+use pc_isa::{MachineConfig, Value};
+use pc_sim::Machine;
+use proptest::prelude::*;
+
+/// A statement of the generated language. Variables are `x0..x3` (int).
+/// Arrays: `arr` (8 ints). Expressions are small combinations of
+/// variables, constants and loads.
+#[derive(Debug, Clone)]
+enum GStmt {
+    /// `(set x<i> <expr>)`
+    Set(usize, GExpr),
+    /// `(aset arr <idx mod 8> <expr>)`
+    Store(GExpr, GExpr),
+    /// `(if <cmp> <then> <else>)`
+    If(GExpr, Vec<GStmt>, Vec<GStmt>),
+    /// `(for (l<n> 0 <k>) <body>)` — loop var added to the expr pool.
+    For(u8, Vec<GStmt>),
+}
+
+#[derive(Debug, Clone)]
+enum GExpr {
+    Const(i64),
+    Var(usize),
+    Load(Box<GExpr>),
+    Add(Box<GExpr>, Box<GExpr>),
+    Sub(Box<GExpr>, Box<GExpr>),
+    Mul(Box<GExpr>, Box<GExpr>),
+    Lt(Box<GExpr>, Box<GExpr>),
+    And(Box<GExpr>, Box<GExpr>),
+}
+
+fn gexpr(depth: u32) -> BoxedStrategy<GExpr> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(GExpr::Const),
+        (0usize..4).prop_map(GExpr::Var),
+    ];
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| GExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| GExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| GExpr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| GExpr::Lt(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| GExpr::And(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| GExpr::Load(Box::new(a))),
+        ]
+    })
+    .boxed()
+}
+
+fn gstmt(depth: u32) -> BoxedStrategy<GStmt> {
+    let leaf = prop_oneof![
+        (0usize..4, gexpr(2)).prop_map(|(v, e)| GStmt::Set(v, e)),
+        (gexpr(2), gexpr(2)).prop_map(|(i, e)| GStmt::Store(i, e)),
+    ];
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        prop_oneof![
+            (
+                gexpr(1),
+                prop::collection::vec(inner.clone(), 1..3),
+                prop::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(c, t, e)| GStmt::If(c, t, e)),
+            (1u8..4, prop::collection::vec(inner, 1..3))
+                .prop_map(|(k, b)| GStmt::For(k, b)),
+        ]
+    })
+    .boxed()
+}
+
+/// Renders an expression; `loops` names enclosing loop variables, which
+/// join the variable pool.
+fn render_expr(e: &GExpr, loops: usize) -> String {
+    match e {
+        GExpr::Const(c) => c.to_string(),
+        GExpr::Var(v) => {
+            // Mix loop variables in when available.
+            if loops > 0 && *v % 2 == 1 {
+                format!("l{}", v % loops)
+            } else {
+                format!("x{v}")
+            }
+        }
+        GExpr::Load(i) => format!("(aref arr (and {} 7))", render_expr(i, loops)),
+        GExpr::Add(a, b) => format!("(+ {} {})", render_expr(a, loops), render_expr(b, loops)),
+        GExpr::Sub(a, b) => format!("(- {} {})", render_expr(a, loops), render_expr(b, loops)),
+        GExpr::Mul(a, b) => format!("(* {} {})", render_expr(a, loops), render_expr(b, loops)),
+        GExpr::Lt(a, b) => format!("(< {} {})", render_expr(a, loops), render_expr(b, loops)),
+        GExpr::And(a, b) => format!("(and {} {})", render_expr(a, loops), render_expr(b, loops)),
+    }
+}
+
+fn render_stmts(stmts: &[GStmt], loops: usize, out: &mut String) {
+    for s in stmts {
+        match s {
+            GStmt::Set(v, e) => {
+                out.push_str(&format!("(set x{v} {}) ", render_expr(e, loops)));
+            }
+            GStmt::Store(i, e) => {
+                out.push_str(&format!(
+                    "(aset arr (and {} 7) {}) ",
+                    render_expr(i, loops),
+                    render_expr(e, loops)
+                ));
+            }
+            GStmt::If(c, t, e) => {
+                out.push_str(&format!("(if (!= {} 0) (begin ", render_expr(c, loops)));
+                render_stmts(t, loops, out);
+                out.push_str(") (begin ");
+                render_stmts(e, loops, out);
+                out.push_str(")) ");
+            }
+            GStmt::For(k, b) => {
+                out.push_str(&format!("(for (l{loops} 0 {k}) "));
+                render_stmts(b, loops + 1, out);
+                out.push_str(") ");
+            }
+        }
+    }
+}
+
+fn render_program(stmts: &[GStmt], inits: &[i64; 4]) -> String {
+    let mut body = String::new();
+    render_stmts(stmts, 0, &mut body);
+    format!(
+        "(global arr (array int 8))
+         (global xout (array int 4))
+         (defun main ()
+           (let ((x0 {}) (x1 {}) (x2 {}) (x3 {}))
+             {body}
+             (aset xout 0 x0) (aset xout 1 x1)
+             (aset xout 2 x2) (aset xout 3 x3)))",
+        inits[0], inits[1], inits[2], inits[3]
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn structured_programs_match_interpreter(
+        stmts in prop::collection::vec(gstmt(3), 1..6),
+        inits in prop::array::uniform4(-50i64..50),
+        arr in prop::array::uniform8(-50i64..50),
+        single in any::<bool>(),
+    ) {
+        let src = render_program(&stmts, &inits);
+        let config = MachineConfig::baseline();
+        let mode = if single { ScheduleMode::Single } else { ScheduleMode::Unrestricted };
+        // Exercise the LICM extension on half the cases: it must be
+        // semantics-preserving on arbitrary structured programs.
+        let out = pc_compiler::compile_with_options(
+            &src,
+            &config,
+            mode,
+            pc_compiler::CompileOptions { optimize: true, licm: single },
+        )
+        .expect("compiles");
+        let mut m = Machine::new(config, out.program).expect("loads");
+        let arr_vals: Vec<Value> = arr.iter().map(|&x| Value::Int(x)).collect();
+        m.write_global("arr", &arr_vals).unwrap();
+        m.run(10_000_000).expect("runs");
+
+        let module = front::expand(&src).unwrap();
+        let mut it = Interp::new(&module);
+        it.write_global("arr", &arr_vals);
+        it.run(&module).expect("interprets");
+
+        let sim_arr = m.read_global("arr").unwrap();
+        let sim_out = m.read_global("xout").unwrap();
+        let int_arr = it.read_global("arr");
+        let int_out = it.read_global("xout");
+        for (a, b) in sim_arr.iter().zip(&int_arr) {
+            prop_assert!(a.bit_eq(*b), "arr: {sim_arr:?} vs {int_arr:?}\n{src}");
+        }
+        for (a, b) in sim_out.iter().zip(&int_out) {
+            prop_assert!(a.bit_eq(*b), "xout: {sim_out:?} vs {int_out:?}\n{src}");
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Cross-crate tests of the full/empty-bit synchronization machinery,
+//! exercised through *compiled programs* (source → compiler → simulator),
+//! not just the memory-system unit tests.
+
+use pc_compiler::{compile, ScheduleMode};
+use pc_isa::{MachineConfig, Value};
+use pc_sim::{Machine, SimError};
+
+fn run_src(src: &str, empties: &[&str]) -> Machine {
+    let config = MachineConfig::baseline();
+    let out = compile(src, &config, ScheduleMode::Unrestricted).expect("compiles");
+    let mut m = Machine::new(config, out.program).expect("loads");
+    for e in empties {
+        m.set_global_empty(e).unwrap();
+    }
+    m
+}
+
+#[test]
+fn producer_consumer_pipeline_through_memory() {
+    // A three-stage pipeline: stage1 -> cell a -> stage2 -> cell b -> main.
+    let src = r#"
+        (global a (array float 1))
+        (global b (array float 1))
+        (global out (array float 1))
+        (defun main ()
+          (fork (produce a 0 21.0))
+          (fork (produce b 0 (* (consume a 0) 2.0)))
+          (aset out 0 (consume b 0)))
+    "#;
+    let mut m = run_src(src, &["a", "b"]);
+    m.run(100_000).unwrap();
+    assert_eq!(m.read_global("out").unwrap()[0], Value::Float(42.0));
+}
+
+#[test]
+fn lock_protects_a_shared_counter() {
+    // 8 threads increment a shared counter 4 times each under the
+    // consume/produce lock idiom; no increments may be lost.
+    let src = r#"
+        (global counter (array int 1))
+        (global wdone (array int 8))
+        (defun main ()
+          (forall (w 0 8)
+            (for (i 0 4)
+              (produce counter 0 (+ (consume counter 0) 1)))
+            (produce wdone w 1))
+          (for (q 0 8) (consume wdone q)))
+    "#;
+    let mut m = run_src(src, &["wdone"]);
+    m.write_global("counter", &[Value::Int(0)]).unwrap();
+    m.run(1_000_000).unwrap();
+    assert_eq!(m.read_global("counter").unwrap()[0], Value::Int(32));
+}
+
+#[test]
+fn consume_without_produce_deadlocks() {
+    let src = r#"
+        (global cell (array float 1))
+        (global out (array float 1))
+        (defun main () (aset out 0 (consume cell 0)))
+    "#;
+    let mut m = run_src(src, &["cell"]);
+    let err = m.run(100_000).unwrap_err();
+    assert!(matches!(err, SimError::Deadlock { parked: 1, .. }), "{err}");
+}
+
+#[test]
+fn double_produce_without_consume_deadlocks() {
+    let src = r#"
+        (global cell (array int 1))
+        (defun main ()
+          (produce cell 0 1)
+          (produce cell 0 2))
+    "#;
+    let mut m = run_src(src, &["cell"]);
+    let err = m.run(100_000).unwrap_err();
+    assert!(matches!(err, SimError::Deadlock { .. }), "{err}");
+}
+
+#[test]
+fn aset_wf_updates_only_full_cells() {
+    let src = r#"
+        (global cell (array int 1))
+        (global out (array int 1))
+        (defun main ()
+          (aset cell 0 5)        ; plain store: sets full
+          (aset-wf cell 0 9)     ; wait-full update: overwrites, stays full
+          (aset out 0 (aref-wf cell 0)))
+    "#;
+    let mut m = run_src(src, &["cell"]);
+    m.run(100_000).unwrap();
+    assert_eq!(m.read_global("out").unwrap()[0], Value::Int(9));
+}
+
+#[test]
+fn forked_threads_synchronize_with_values_not_just_flags() {
+    // Result published through the sync cell itself: the parent's
+    // consume returns the child's value directly.
+    let src = r#"
+        (global partial (array float 4))
+        (global out (array float 1))
+        (defun main ()
+          (forall (i 0 4)
+            (produce partial i (float (* i i))))
+          (let ((s 0.0))
+            (for (i 0 4) (set s (+ s (consume partial i))))
+            (aset out 0 s)))
+    "#;
+    let mut m = run_src(src, &["partial"]);
+    m.run(100_000).unwrap();
+    // 0 + 1 + 4 + 9
+    assert_eq!(m.read_global("out").unwrap()[0], Value::Float(14.0));
+}
+
+#[test]
+fn parked_references_are_counted() {
+    let src = r#"
+        (global cell (array int 1))
+        (global out (array int 1))
+        (defun main ()
+          (fork (produce cell 0 7))
+          (aset out 0 (consume cell 0)))
+    "#;
+    let mut m = run_src(src, &["cell"]);
+    let stats = m.run(100_000).unwrap();
+    assert_eq!(m.read_global("out").unwrap()[0], Value::Int(7));
+    // Depending on interleaving the consume may or may not park; the
+    // counter must at least be consistent with the outcome.
+    assert!(stats.mem.parked <= 2);
+}
