@@ -44,13 +44,10 @@ pub fn parse_program(text: &str) -> Result<Program, AsmError> {
             continue;
         }
         if let Some(rest) = line.strip_prefix(".memory ") {
-            p.memory_size = rest
-                .trim()
-                .parse()
-                .map_err(|_| AsmError {
-                    line: ln,
-                    msg: "bad .memory".into(),
-                })?;
+            p.memory_size = rest.trim().parse().map_err(|_| AsmError {
+                line: ln,
+                msg: "bad .memory".into(),
+            })?;
         } else if let Some(rest) = line.strip_prefix(".entry ") {
             let idx: u32 = rest.trim().parse().map_err(|_| AsmError {
                 line: ln,
@@ -187,7 +184,13 @@ fn parse_operation(text: &str, ln: usize) -> Result<Operation, AsmError> {
 
     // Branch family first (special syntax).
     match mnem {
-        "halt" => return Ok(Operation::new(OpKind::Branch(BranchOp::Halt), vec![], vec![])),
+        "halt" => {
+            return Ok(Operation::new(
+                OpKind::Branch(BranchOp::Halt),
+                vec![],
+                vec![],
+            ))
+        }
         "jmp" => {
             let target = rest
                 .strip_prefix('@')
@@ -240,13 +243,13 @@ fn parse_operation(text: &str, ln: usize) -> Result<Operation, AsmError> {
                 line: ln,
                 msg: "fork needs 'segN (...)'".into(),
             })?;
-            let seg: u32 = seg
-                .strip_prefix("seg")
-                .and_then(|s| s.parse().ok())
-                .ok_or(AsmError {
-                    line: ln,
-                    msg: format!("bad fork segment '{seg}'"),
-                })?;
+            let seg: u32 =
+                seg.strip_prefix("seg")
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(AsmError {
+                        line: ln,
+                        msg: format!("bad fork segment '{seg}'"),
+                    })?;
             let inner = args
                 .trim()
                 .strip_prefix('(')
@@ -337,7 +340,9 @@ mod tests {
     #[test]
     fn roundtrips_every_int_and_float_op() {
         for &o in IntOp::all() {
-            let srcs = (0..o.arity()).map(|i| Operand::Reg(r(0, i as u32))).collect();
+            let srcs = (0..o.arity())
+                .map(|i| Operand::Reg(r(0, i as u32)))
+                .collect();
             roundtrip_op(Operation::int(o, srcs, r(1, 5)));
         }
         for &o in FloatOp::all() {
@@ -372,7 +377,11 @@ mod tests {
 
     #[test]
     fn roundtrips_branches() {
-        roundtrip_op(Operation::new(OpKind::Branch(BranchOp::Halt), vec![], vec![]));
+        roundtrip_op(Operation::new(
+            OpKind::Branch(BranchOp::Halt),
+            vec![],
+            vec![],
+        ));
         roundtrip_op(Operation::new(
             OpKind::Branch(BranchOp::Jmp { target: 12 }),
             vec![],

@@ -147,7 +147,12 @@ mod tests {
 
     #[test]
     fn prints_memory_and_branches() {
-        let ld = Operation::load(LoadFlavor::Consume, Operand::ImmInt(9), Operand::Reg(r(0, 0)), r(0, 1));
+        let ld = Operation::load(
+            LoadFlavor::Consume,
+            Operand::ImmInt(9),
+            Operand::Reg(r(0, 0)),
+            r(0, 1),
+        );
         assert_eq!(print_operation(&ld), "ld.c #9, c0.r0 -> c0.r1");
         let br = Operation::new(
             OpKind::Branch(BranchOp::Br {

@@ -3,8 +3,8 @@
 
 use pc_asm::{parse_program, print_program};
 use pc_isa::{
-    BranchOp, ClusterId, CodeSegment, FloatOp, FuId, InstWord, IntOp, LoadFlavor, OpKind,
-    Operand, Operation, Program, RegId, SegmentId, StoreFlavor,
+    BranchOp, ClusterId, CodeSegment, FloatOp, FuId, InstWord, IntOp, LoadFlavor, OpKind, Operand,
+    Operation, Program, RegId, SegmentId, StoreFlavor,
 };
 use proptest::prelude::*;
 
@@ -37,7 +37,11 @@ fn operation() -> impl Strategy<Value = Operation> {
             .prop_map(move |(srcs, dsts)| Operation::new(OpKind::Float(o), srcs, dsts))
     });
     let load = (
-        prop::sample::select(vec![LoadFlavor::Plain, LoadFlavor::WaitFull, LoadFlavor::Consume]),
+        prop::sample::select(vec![
+            LoadFlavor::Plain,
+            LoadFlavor::WaitFull,
+            LoadFlavor::Consume,
+        ]),
         operand(),
         operand(),
         reg(),
@@ -65,7 +69,11 @@ fn operation() -> impl Strategy<Value = Operation> {
             vec![Operand::Reg(c)],
             vec![]
         )),
-        Just(Operation::new(OpKind::Branch(BranchOp::Halt), vec![], vec![])),
+        Just(Operation::new(
+            OpKind::Branch(BranchOp::Halt),
+            vec![],
+            vec![]
+        )),
         (0u32..1000).prop_map(|id| Operation::new(
             OpKind::Branch(BranchOp::Probe { id }),
             vec![],

@@ -13,7 +13,11 @@ fn bench(c: &mut Criterion) {
     let results = comm::run().expect("comm experiment");
     println!("\n{}", results.render());
     for s in InterconnectScheme::all() {
-        println!("mean overhead {}: {:.3}", s.label(), results.mean_overhead(s));
+        println!(
+            "mean overhead {}: {:.3}",
+            s.label(),
+            results.mean_overhead(s)
+        );
     }
 
     let mut g = c.benchmark_group("fig6_comm");

@@ -1,0 +1,119 @@
+//! simcore — throughput baseline for the simulator hot loop and the
+//! parallel sweep driver.
+//!
+//! Times (a) one compile+simulate+validate pipeline per benchmark × mode
+//! (per-iteration time plus simulated cycles/second, the hot-loop
+//! number) and (b) the full Table-2 baseline sweep, serial vs parallel,
+//! asserting the two produce bit-identical rows. Results are written to
+//! `BENCH_simcore.json` at the workspace root so future changes can be
+//! compared against the committed baseline:
+//!
+//! ```sh
+//! cargo bench -p pc-bench --bench simcore
+//! git diff BENCH_simcore.json   # the trajectory
+//! ```
+
+use coupling::experiments::baseline;
+use coupling::{benchmarks, default_jobs, run_benchmark, MachineMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pc_isa::MachineConfig;
+use std::time::{Duration, Instant};
+
+/// Where the machine-readable baseline lands: the workspace root.
+const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simcore.json");
+
+fn bench(c: &mut Criterion) {
+    // (a) Hot-loop throughput: full pipeline per benchmark × mode, with
+    // the run's cycle count so the report can derive cycles/second.
+    let mut cycles_per_case: Vec<(String, u64)> = Vec::new();
+    {
+        let mut g = c.benchmark_group("simcore");
+        g.sample_size(pc_bench::SAMPLES)
+            .measurement_time(Duration::from_secs(2))
+            .warm_up_time(Duration::from_millis(300));
+        for b in benchmarks::all() {
+            // LUD is ~10× the others; one mode keeps the wall clock sane.
+            let modes: &[MachineMode] = if b.name == "LUD" {
+                &[MachineMode::Coupled]
+            } else {
+                &[MachineMode::Sts, MachineMode::Coupled]
+            };
+            for &mode in modes {
+                let out = run_benchmark(&b, mode, MachineConfig::baseline()).expect("run");
+                let id = format!("{}/{}", b.name, mode.label());
+                cycles_per_case.push((format!("simcore/{id}"), out.stats.cycles));
+                g.bench_function(&id, |bench| {
+                    bench.iter(|| run_benchmark(&b, mode, MachineConfig::baseline()).expect("run"))
+                });
+            }
+        }
+        g.finish();
+    }
+
+    // (b) Full Table-2 sweep, serial vs parallel, best of 3.
+    let time_sweep = |jobs: usize| {
+        let mut best = Duration::MAX;
+        let mut result = None;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let r = baseline::run_jobs(jobs).expect("table2 sweep");
+            best = best.min(start.elapsed());
+            result = Some(r);
+        }
+        (best, result.expect("three sweeps ran"))
+    };
+    let (serial_time, serial_rows) = time_sweep(1);
+    let jobs = default_jobs();
+    let (parallel_time, parallel_rows) = time_sweep(jobs);
+    assert_eq!(
+        serial_rows, parallel_rows,
+        "parallel sweep must be bit-identical to serial"
+    );
+    let speedup = serial_time.as_secs_f64() / parallel_time.as_secs_f64();
+    eprintln!(
+        "table2 sweep: serial {serial_time:.2?}, parallel {parallel_time:.2?} \
+         ({jobs} jobs) -> {speedup:.2}x, rows bit-identical"
+    );
+
+    // (c) Machine-readable baseline.
+    let mut cases = String::new();
+    for r in c.results() {
+        let cycles = cycles_per_case
+            .iter()
+            .find(|(id, _)| *id == r.id)
+            .map(|&(_, c)| c)
+            .unwrap_or(0);
+        let mean_ns = r.mean.as_nanos();
+        let cps = if mean_ns == 0 {
+            0.0
+        } else {
+            cycles as f64 * 1e9 / mean_ns as f64
+        };
+        if !cases.is_empty() {
+            cases.push_str(",\n");
+        }
+        cases.push_str(&format!(
+            "    {{\"id\": \"{}\", \"mean_ns\": {}, \"iterations\": {}, \
+             \"cycles_per_run\": {}, \"sim_cycles_per_sec\": {:.0}}}",
+            r.id, mean_ns, r.iterations, cycles, cps
+        ));
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"simcore-baseline-v1\",\n  \"host_cpus\": {},\n  \
+         \"cases\": [\n{}\n  ],\n  \"table2_sweep\": {{\n    \
+         \"serial_ms\": {:.1},\n    \"parallel_ms\": {:.1},\n    \
+         \"jobs\": {},\n    \"speedup\": {:.2},\n    \
+         \"bit_identical\": true\n  }}\n}}\n",
+        default_jobs(),
+        cases,
+        serial_time.as_secs_f64() * 1e3,
+        parallel_time.as_secs_f64() * 1e3,
+        jobs,
+        speedup,
+    );
+    std::fs::write(BASELINE_PATH, &json).expect("write BENCH_simcore.json");
+    eprintln!("wrote {BASELINE_PATH}");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -30,9 +30,7 @@ fn bench(c: &mut Criterion) {
                 continue;
             }
             g.bench_function(format!("{}/{}", b.name, mode.label()), |bench| {
-                bench.iter(|| {
-                    run_benchmark(&b, mode, MachineConfig::baseline()).expect("run")
-                })
+                bench.iter(|| run_benchmark(&b, mode, MachineConfig::baseline()).expect("run"))
             });
         }
     }

@@ -20,8 +20,7 @@ fn bench(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(500));
     g.bench_function("coupled_priority_queue", |bench| {
         let b = model_queue_coupled();
-        let config =
-            MachineConfig::baseline().with_arbitration(ArbitrationPolicy::FixedPriority);
+        let config = MachineConfig::baseline().with_arbitration(ArbitrationPolicy::FixedPriority);
         bench.iter(|| run_benchmark(&b, MachineMode::Coupled, config.clone()).unwrap())
     });
     g.bench_function("sts_comparison", |bench| {

@@ -15,8 +15,12 @@ fn bench_compiler(c: &mut Criterion) {
     for b in benchmarks::all() {
         g.bench_function(format!("compile/{}/threaded", b.name), |bench| {
             bench.iter(|| {
-                compile(&b.threaded_src, &MachineConfig::baseline(), ScheduleMode::Unrestricted)
-                    .unwrap()
+                compile(
+                    &b.threaded_src,
+                    &MachineConfig::baseline(),
+                    ScheduleMode::Unrestricted,
+                )
+                .unwrap()
             })
         });
     }
@@ -24,9 +28,7 @@ fn bench_compiler(c: &mut Criterion) {
     let m = benchmarks::matrix();
     g.bench_function("compile/Matrix/ideal", |bench| {
         let src = m.ideal_src.as_ref().unwrap();
-        bench.iter(|| {
-            compile(src, &MachineConfig::baseline(), ScheduleMode::Unrestricted).unwrap()
-        })
+        bench.iter(|| compile(src, &MachineConfig::baseline(), ScheduleMode::Unrestricted).unwrap())
     });
     g.finish();
 }

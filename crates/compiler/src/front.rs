@@ -102,19 +102,25 @@ fn parse_type(sx: &Sexpr) -> Result<(Ty, u64)> {
     match &sx.node {
         Node::Atom(Atom::Sym(s)) if s == "int" => Ok((Ty::Int, 1)),
         Node::Atom(Atom::Sym(s)) if s == "float" => Ok((Ty::Float, 1)),
-        Node::List(xs)
-            if xs.len() == 3 && xs[0].is_sym("array") =>
-        {
+        Node::List(xs) if xs.len() == 3 && xs[0].is_sym("array") => {
             let elem = match xs[1].sym()? {
                 "int" => Ty::Int,
                 "float" => Ty::Float,
                 other => {
-                    return Err(CompileError::at(sx.line, format!("bad element type '{other}'")))
+                    return Err(CompileError::at(
+                        sx.line,
+                        format!("bad element type '{other}'"),
+                    ))
                 }
             };
             let len = match &xs[2].node {
                 Node::Atom(Atom::Int(n)) if *n > 0 => *n as u64,
-                _ => return Err(CompileError::at(sx.line, "array length must be a positive integer")),
+                _ => {
+                    return Err(CompileError::at(
+                        sx.line,
+                        "array length must be a positive integer",
+                    ))
+                }
             };
             Ok((elem, len))
         }
@@ -146,9 +152,7 @@ fn eval_const(sx: &Sexpr, consts: &HashMap<String, Expr>) -> Result<Expr> {
                         "*" => a * b,
                         "/" if b != 0 => a / b,
                         "%" if b != 0 => a % b,
-                        _ => {
-                            return Err(CompileError::at(sx.line, "bad constant expression"))
-                        }
+                        _ => return Err(CompileError::at(sx.line, "bad constant expression")),
                     };
                     Ok(Expr::Int(v))
                 }
@@ -158,9 +162,7 @@ fn eval_const(sx: &Sexpr, consts: &HashMap<String, Expr>) -> Result<Expr> {
                         "-" => a - b,
                         "*" => a * b,
                         "/" => a / b,
-                        _ => {
-                            return Err(CompileError::at(sx.line, "bad constant expression"))
-                        }
+                        _ => return Err(CompileError::at(sx.line, "bad constant expression")),
                     };
                     Ok(Expr::Float(v))
                 }
@@ -294,7 +296,10 @@ impl Ctx {
                     .ok_or_else(|| CompileError::at(sx.line, "missing loop spec"))?
                     .list()?;
                 if spec.len() != 3 {
-                    return Err(CompileError::at(sx.line, format!("({head} (i start end) ...)")));
+                    return Err(CompileError::at(
+                        sx.line,
+                        format!("({head} (i start end) ...)"),
+                    ));
                 }
                 let start = self.expr(&spec[1])?;
                 let end = self.expr(&spec[2])?;
@@ -382,7 +387,11 @@ impl Ctx {
         if xs.len() - 1 != params.len() {
             return Err(CompileError::at(
                 sx.line,
-                format!("{name} expects {} arguments, got {}", params.len(), xs.len() - 1),
+                format!(
+                    "{name} expects {} arguments, got {}",
+                    params.len(),
+                    xs.len() - 1
+                ),
             ));
         }
         // Evaluate arguments in the caller's scope, then bind params.
@@ -406,9 +415,10 @@ impl Ctx {
         match &sx.node {
             Node::Atom(Atom::Int(i)) => Ok(Expr::Int(*i)),
             Node::Atom(Atom::Float(f)) => Ok(Expr::Float(*f)),
-            Node::Atom(Atom::Key(k)) => {
-                Err(CompileError::at(sx.line, format!("unexpected keyword :{k}")))
-            }
+            Node::Atom(Atom::Key(k)) => Err(CompileError::at(
+                sx.line,
+                format!("unexpected keyword :{k}"),
+            )),
             Node::Atom(Atom::Sym(s)) => {
                 if let Some(c) = self.consts.get(s) {
                     return Ok(c.clone());
@@ -437,7 +447,8 @@ impl Ctx {
                         for x in &xs[2..] {
                             acc = Expr::Bin(op, Box::new(acc), Box::new(self.expr(x)?));
                         }
-                        if xs.len() > 3 && !matches!(op, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or)
+                        if xs.len() > 3
+                            && !matches!(op, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or)
                         {
                             return Err(CompileError::at(
                                 sx.line,
@@ -483,7 +494,10 @@ impl Ctx {
                         sx.line,
                         format!("procedure '{other}' may only be called in statement position"),
                     )),
-                    other => Err(CompileError::at(sx.line, format!("unknown operator '{other}'"))),
+                    other => Err(CompileError::at(
+                        sx.line,
+                        format!("unknown operator '{other}'"),
+                    )),
                 }
             }
         }
@@ -525,10 +539,8 @@ mod tests {
 
     #[test]
     fn globals_and_arrays() {
-        let m = expand(
-            "(global a (array float 81)) (global n int) (defun main () (aset a 0 1.5))",
-        )
-        .unwrap();
+        let m = expand("(global a (array float 81)) (global n int) (defun main () (aset a 0 1.5))")
+            .unwrap();
         assert_eq!(m.globals.len(), 2);
         assert_eq!(m.globals[0].len, 81);
         assert_eq!(m.globals[0].elem, Ty::Float);
@@ -723,8 +735,12 @@ mod hardening_tests {
         )
         .unwrap();
         // Fully expanded: a let (f) containing a let (g) containing a set.
-        let Stmt::Let { body, .. } = &m.main[0] else { panic!() };
-        let Stmt::Let { body: inner, .. } = &body[0] else { panic!() };
+        let Stmt::Let { body, .. } = &m.main[0] else {
+            panic!()
+        };
+        let Stmt::Let { body: inner, .. } = &body[0] else {
+            panic!()
+        };
         assert!(matches!(inner[0], Stmt::Set { .. }));
     }
 
@@ -741,10 +757,8 @@ mod hardening_tests {
     #[test]
     fn duplicate_global_is_last_wins_or_error_free() {
         // Two globals with distinct names both recorded in order.
-        let m = expand(
-            "(global a int) (global b (array float 2)) (defun main () (set a 1))",
-        )
-        .unwrap();
+        let m =
+            expand("(global a int) (global b (array float 2)) (defun main () (set a 1))").unwrap();
         assert_eq!(m.globals.len(), 2);
         assert_eq!(m.globals[0].name, "a");
         assert_eq!(m.globals[1].len, 2);
@@ -758,9 +772,18 @@ mod hardening_tests {
             ("(defun main () (aset))", "aset"),
             ("(defun main (x) 1)", "main takes no parameters"),
             ("(widget)", "unknown top-level form"),
-            ("(global g (array int 0)) (defun main () (probe 0))", "positive"),
-            ("(const c (+ 1 2.0)) (defun main () (probe 0))", "mixed-type"),
-            ("(const c (/ 1 0)) (defun main () (probe 0))", "bad constant"),
+            (
+                "(global g (array int 0)) (defun main () (probe 0))",
+                "positive",
+            ),
+            (
+                "(const c (+ 1 2.0)) (defun main () (probe 0))",
+                "mixed-type",
+            ),
+            (
+                "(const c (/ 1 0)) (defun main () (probe 0))",
+                "bad constant",
+            ),
         ] {
             let err = expand(src).unwrap_err();
             assert!(

@@ -402,7 +402,10 @@ mod tests {
     fn straight_line_arithmetic() {
         let it = run("(global out (array float 2))
                       (defun main () (aset out 0 (+ 1.5 2.0)) (aset out 1 (* 3.0 -2.0)))");
-        assert_eq!(it.read_global("out"), vec![Value::Float(3.5), Value::Float(-6.0)]);
+        assert_eq!(
+            it.read_global("out"),
+            vec![Value::Float(3.5), Value::Float(-6.0)]
+        );
     }
 
     #[test]

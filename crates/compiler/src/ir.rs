@@ -289,9 +289,7 @@ impl InstKind {
             InstKind::Un { a, .. } => vec![*a],
             InstKind::Bin { a, b, .. } => vec![*a, *b],
             InstKind::Load { base, off, .. } => vec![*base, *off],
-            InstKind::Store {
-                base, off, val, ..
-            } => vec![*base, *off, *val],
+            InstKind::Store { base, off, val, .. } => vec![*base, *off, *val],
             InstKind::Fork { args, .. } => args.clone(),
             InstKind::Probe { .. } => vec![],
         }

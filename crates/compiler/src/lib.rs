@@ -131,10 +131,7 @@ pub fn compile_with_options(
 ) -> Result<CompileOutput> {
     let module = front::expand(src)?;
     let k = config.arith_clusters().count().max(1);
-    let mut ir = lower::lower(
-        &module,
-        lower::LowerOptions { forall_variants: k },
-    )?;
+    let mut ir = lower::lower(&module, lower::LowerOptions { forall_variants: k })?;
     if options.optimize {
         for f in &mut ir.funcs {
             opt::optimize_with(f, options.licm);
@@ -249,11 +246,16 @@ mod tests {
         "#;
         let out = compile(src, &baseline(), ScheduleMode::Unrestricted).unwrap();
         assert_eq!(out.program.segments.len(), 5); // main + 4 variants
-        // Variants rotate cluster assignments: their register usage
-        // fingerprints should not all be identical on cluster 0.
-        let c0: Vec<u32> = out.info[1..].iter().map(|i| i.regs_per_cluster[0]).collect();
-        assert!(c0.iter().any(|&x| x != c0[0]) || c0.iter().all(|&x| x == 0) || c0.len() == 1,
-            "variants should differ: {c0:?}");
+                                                   // Variants rotate cluster assignments: their register usage
+                                                   // fingerprints should not all be identical on cluster 0.
+        let c0: Vec<u32> = out.info[1..]
+            .iter()
+            .map(|i| i.regs_per_cluster[0])
+            .collect();
+        assert!(
+            c0.iter().any(|&x| x != c0[0]) || c0.iter().all(|&x| x == 0) || c0.len() == 1,
+            "variants should differ: {c0:?}"
+        );
     }
 
     #[test]
@@ -334,8 +336,12 @@ mod tests {
 
     #[test]
     fn compile_errors_propagate() {
-        assert!(compile("(defun main () (set x (+ 1 2.0)))", &baseline(), ScheduleMode::Single)
-            .is_err());
+        assert!(compile(
+            "(defun main () (set x (+ 1 2.0)))",
+            &baseline(),
+            ScheduleMode::Single
+        )
+        .is_err());
         assert!(compile("(no-main)", &baseline(), ScheduleMode::Single).is_err());
     }
 }

@@ -4,7 +4,7 @@
 
 use crate::ast::{self, Expr, Module, Stmt, Ty, Unroll};
 use crate::error::{CompileError, Result};
-use crate::ir::{BinOp, Block, Func, Inst, InstKind, IrProgram, Term, UnOp, Val, VReg};
+use crate::ir::{BinOp, Block, Func, Inst, InstKind, IrProgram, Term, UnOp, VReg, Val};
 use std::collections::HashMap;
 
 /// Lowering options.
@@ -126,7 +126,14 @@ impl Lowerer {
                 for (name, init) in bindings {
                     let (v, ty) = self.expr(cur, init)?;
                     let r = self.fresh(cur, ty);
-                    self.emit(cur, InstKind::Un { op: UnOp::Mov, a: v }, Some(r));
+                    self.emit(
+                        cur,
+                        InstKind::Un {
+                            op: UnOp::Mov,
+                            a: v,
+                        },
+                        Some(r),
+                    );
                     cur.env.insert(name.clone(), (r, ty));
                 }
                 self.stmts(cur, body)
@@ -139,7 +146,14 @@ impl Lowerer {
                             "type mismatch assigning {name}: variable is {ty:?}, value is {vty:?}"
                         )));
                     }
-                    self.emit(cur, InstKind::Un { op: UnOp::Mov, a: v }, Some(r));
+                    self.emit(
+                        cur,
+                        InstKind::Un {
+                            op: UnOp::Mov,
+                            a: v,
+                        },
+                        Some(r),
+                    );
                     Ok(())
                 } else if let Some(&(addr, _, ety)) = self.symtab.get(name) {
                     if ety != vty {
@@ -327,12 +341,10 @@ impl Lowerer {
             // `factor` copies of the body per iteration. Requires constant
             // bounds whose trip count the factor divides (hand-unrolling
             // semantics — the programmer guarantees divisibility).
-            let s = const_int(start).ok_or_else(|| {
-                CompileError::new(format!("{var}: :unroll needs constant start"))
-            })?;
-            let e = const_int(end).ok_or_else(|| {
-                CompileError::new(format!("{var}: :unroll needs constant end"))
-            })?;
+            let s = const_int(start)
+                .ok_or_else(|| CompileError::new(format!("{var}: :unroll needs constant start")))?;
+            let e = const_int(end)
+                .ok_or_else(|| CompileError::new(format!("{var}: :unroll needs constant end")))?;
             let trip = e - s;
             if trip % factor as i64 != 0 {
                 return Err(CompileError::new(format!(
@@ -343,7 +355,14 @@ impl Lowerer {
             let base = self.fresh(cur, Ty::Int);
             let r = self.fresh(cur, Ty::Int);
             cur.env.insert(var.to_string(), (r, Ty::Int));
-            self.emit(cur, InstKind::Un { op: UnOp::Mov, a: Val::CI(s) }, Some(base));
+            self.emit(
+                cur,
+                InstKind::Un {
+                    op: UnOp::Mov,
+                    a: Val::CI(s),
+                },
+                Some(base),
+            );
             let head = self.new_block(cur);
             self.set_term(cur, cur.block, Term::Jump(head));
             cur.block = head;
@@ -402,13 +421,27 @@ impl Lowerer {
         }
         let ivar = self.fresh(cur, Ty::Int);
         cur.env.insert(var.to_string(), (ivar, Ty::Int));
-        self.emit(cur, InstKind::Un { op: UnOp::Mov, a: sv }, Some(ivar));
+        self.emit(
+            cur,
+            InstKind::Un {
+                op: UnOp::Mov,
+                a: sv,
+            },
+            Some(ivar),
+        );
         // Loop-invariant bound: materialize into a register if an expression.
         let bound = if ev.is_const() {
             ev
         } else {
             let b = self.fresh(cur, Ty::Int);
-            self.emit(cur, InstKind::Un { op: UnOp::Mov, a: ev }, Some(b));
+            self.emit(
+                cur,
+                InstKind::Un {
+                    op: UnOp::Mov,
+                    a: ev,
+                },
+                Some(b),
+            );
             Val::R(b)
         };
         let head = self.new_block(cur);
@@ -497,10 +530,7 @@ impl Lowerer {
         body: &[Stmt],
     ) -> Result<usize> {
         let names = self.captures(body, loop_var)?;
-        let mut child = Func::new(
-            format!("{label}@{}#{variant}", self.funcs.len()),
-            variant,
-        );
+        let mut child = Func::new(format!("{label}@{}#{variant}", self.funcs.len()), variant);
         let mut env = HashMap::new();
         if let Some(lv) = loop_var {
             let p = child.fresh(Ty::Int);
@@ -558,20 +588,41 @@ impl Lowerer {
             return Err(CompileError::new("forall bounds must be int"));
         }
         let ivar = self.fresh(cur, Ty::Int);
-        self.emit(cur, InstKind::Un { op: UnOp::Mov, a: sv }, Some(ivar));
+        self.emit(
+            cur,
+            InstKind::Un {
+                op: UnOp::Mov,
+                a: sv,
+            },
+            Some(ivar),
+        );
         let svreg = if sv.is_const() {
             sv
         } else {
             // Keep the start value for the (i - start) % k computation.
             let s0 = self.fresh(cur, Ty::Int);
-            self.emit(cur, InstKind::Un { op: UnOp::Mov, a: sv }, Some(s0));
+            self.emit(
+                cur,
+                InstKind::Un {
+                    op: UnOp::Mov,
+                    a: sv,
+                },
+                Some(s0),
+            );
             Val::R(s0)
         };
         let bound = if ev.is_const() {
             ev
         } else {
             let b = self.fresh(cur, Ty::Int);
-            self.emit(cur, InstKind::Un { op: UnOp::Mov, a: ev }, Some(b));
+            self.emit(
+                cur,
+                InstKind::Un {
+                    op: UnOp::Mov,
+                    a: ev,
+                },
+                Some(b),
+            );
             Val::R(b)
         };
         let head = self.new_block(cur);
@@ -739,7 +790,15 @@ impl Lowerer {
                 }
                 let irop = map_bin(*op, at)?;
                 let d = self.fresh(cur, irop.result_ty());
-                self.emit(cur, InstKind::Bin { op: irop, a: av, b: bv }, Some(d));
+                self.emit(
+                    cur,
+                    InstKind::Bin {
+                        op: irop,
+                        a: av,
+                        b: bv,
+                    },
+                    Some(d),
+                );
                 Ok((Val::R(d), irop.result_ty()))
             }
             Expr::Un(op, a) => {
@@ -871,7 +930,8 @@ mod tests {
 
     #[test]
     fn unrolled_for_is_straightline() {
-        let p = ir("(global a (array int 4)) (defun main () (for (i 0 4) :unroll full (aset a i i)))");
+        let p =
+            ir("(global a (array int 4)) (defun main () (for (i 0 4) :unroll full (aset a i i)))");
         let f = &p.funcs[0];
         assert_eq!(f.blocks.len(), 1);
         // 4 × (mov i, store)
@@ -880,9 +940,8 @@ mod tests {
 
     #[test]
     fn partial_unroll_builds_strided_loop() {
-        let p = ir(
-            "(global a (array int 16)) (defun main () (for (i 0 16) :unroll 4 (aset a i i)))",
-        );
+        let p =
+            ir("(global a (array int 16)) (defun main () (for (i 0 16) :unroll 4 (aset a i i)))");
         let f = &p.funcs[0];
         // Rolled CFG: preheader, head, body, exit.
         assert_eq!(f.blocks.len(), 4);
@@ -898,8 +957,10 @@ mod tests {
     #[test]
     fn partial_unroll_rejects_indivisible_trip_count() {
         let err = lower(
-            &expand("(global a (array int 10)) (defun main () (for (i 0 10) :unroll 4 (aset a i i)))")
-                .unwrap(),
+            &expand(
+                "(global a (array int 10)) (defun main () (for (i 0 10) :unroll 4 (aset a i i)))",
+            )
+            .unwrap(),
             LowerOptions::default(),
         )
         .unwrap_err();
@@ -918,10 +979,8 @@ mod tests {
 
     #[test]
     fn fork_extracts_function_with_captures() {
-        let p = ir(
-            "(global out (array int 4))
-             (defun main () (let ((x 3)) (fork (aset out 0 x))))",
-        );
+        let p = ir("(global out (array int 4))
+             (defun main () (let ((x 3)) (fork (aset out 0 x))))");
         assert_eq!(p.funcs.len(), 2);
         let child = &p.funcs[1];
         assert_eq!(child.params.len(), 1); // x captured
@@ -1021,7 +1080,15 @@ mod tests {
         let cmp = f.blocks[0]
             .insts
             .iter()
-            .find(|i| matches!(i.kind, InstKind::Bin { op: BinOp::Fslt, .. }))
+            .find(|i| {
+                matches!(
+                    i.kind,
+                    InstKind::Bin {
+                        op: BinOp::Fslt,
+                        ..
+                    }
+                )
+            })
             .unwrap();
         assert_eq!(f.ty(cmp.dst.unwrap()), Ty::Int);
     }
@@ -1051,9 +1118,8 @@ mod tests {
 
     #[test]
     fn consume_in_expression_position() {
-        let p = ir(
-            "(global f (array float 2)) (defun main () (let ((v (consume f 0))) (aset f 1 v)))",
-        );
+        let p =
+            ir("(global f (array float 2)) (defun main () (let ((v (consume f 0))) (aset f 1 v)))");
         let insts = &p.funcs[0].blocks[0].insts;
         assert!(insts.iter().any(|i| matches!(
             i.kind,

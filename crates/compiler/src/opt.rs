@@ -16,7 +16,7 @@
 //!
 //! All passes run to a fixpoint via [`optimize`].
 
-use crate::ir::{BinOp, Func, InstKind, IsaOp, Term, UnOp, Val, VReg};
+use crate::ir::{BinOp, Func, InstKind, IsaOp, Term, UnOp, VReg, Val};
 use pc_isa::{op as isa_op, LoadFlavor, Value};
 use std::collections::HashMap;
 
@@ -80,9 +80,13 @@ pub fn coalesce_copies(f: &mut Func) -> bool {
         let mut delete = vec![false; n];
         for idx in 0..n {
             let mov_target = match (&b.insts[idx].kind, b.insts[idx].dst) {
-                (InstKind::Un { op: UnOp::Mov, a: Val::R(tmp) }, Some(var)) if *tmp != var => {
-                    Some((*tmp, var))
-                }
+                (
+                    InstKind::Un {
+                        op: UnOp::Mov,
+                        a: Val::R(tmp),
+                    },
+                    Some(var),
+                ) if *tmp != var => Some((*tmp, var)),
                 _ => None,
             };
             if let Some((tmp, var)) = mov_target {
@@ -93,8 +97,7 @@ pub fn coalesce_copies(f: &mut Func) -> bool {
                                 b.insts[di].kind,
                                 InstKind::Fork { .. } | InstKind::Probe { .. }
                             );
-                        let var_quiet =
-                            last_access.get(&var).map(|&a| a <= di).unwrap_or(true);
+                        let var_quiet = last_access.get(&var).map(|&a| a <= di).unwrap_or(true);
                         if producer_writes_reg && var_quiet && !delete[di] {
                             b.insts[di].dst = Some(var);
                             delete[idx] = true;
@@ -221,9 +224,7 @@ pub fn fold_and_propagate(f: &mut Func) -> bool {
                     subst(base, &local, &mut changed);
                     subst(off, &local, &mut changed);
                 }
-                InstKind::Store {
-                    base, off, val, ..
-                } => {
+                InstKind::Store { base, off, val, .. } => {
                     subst(base, &local, &mut changed);
                     subst(off, &local, &mut changed);
                     subst(val, &local, &mut changed);
@@ -238,7 +239,10 @@ pub fn fold_and_propagate(f: &mut Func) -> bool {
             // Fold if now constant.
             if let Some(c) = fold_inst(&i.kind) {
                 if !matches!(i.kind, InstKind::Un { op: UnOp::Mov, .. }) {
-                    i.kind = InstKind::Un { op: UnOp::Mov, a: c };
+                    i.kind = InstKind::Un {
+                        op: UnOp::Mov,
+                        a: c,
+                    };
                     changed = true;
                 }
             }
@@ -299,7 +303,10 @@ pub fn algebraic(f: &mut Func) -> bool {
                 _ => None,
             };
             if let Some(v) = repl {
-                i.kind = InstKind::Un { op: UnOp::Mov, a: v };
+                i.kind = InstKind::Un {
+                    op: UnOp::Mov,
+                    a: v,
+                };
                 changed = true;
             }
         }
@@ -444,9 +451,7 @@ pub fn copy_propagate(f: &mut Func) -> bool {
                     subst(base, &copy, &mut changed);
                     subst(off, &copy, &mut changed);
                 }
-                InstKind::Store {
-                    base, off, val, ..
-                } => {
+                InstKind::Store { base, off, val, .. } => {
                     subst(base, &copy, &mut changed);
                     subst(off, &copy, &mut changed);
                     subst(val, &copy, &mut changed);
@@ -671,15 +676,16 @@ pub fn licm(f: &mut Func) -> bool {
             let mut hoisted = Vec::new();
             for &b in &blocks {
                 for (ii, inst) in f.blocks[b].insts.iter().enumerate() {
-                    let pure = matches!(
-                        inst.kind,
-                        InstKind::Bin { .. } | InstKind::Un { .. }
-                    ) && !matches!(
-                        inst.kind,
-                        InstKind::Bin { op: BinOp::Div, .. }
-                            | InstKind::Bin { op: BinOp::Rem, .. }
-                            | InstKind::Bin { op: BinOp::Fdiv, .. }
-                    );
+                    let pure = matches!(inst.kind, InstKind::Bin { .. } | InstKind::Un { .. })
+                        && !matches!(
+                            inst.kind,
+                            InstKind::Bin { op: BinOp::Div, .. }
+                                | InstKind::Bin { op: BinOp::Rem, .. }
+                                | InstKind::Bin {
+                                    op: BinOp::Fdiv,
+                                    ..
+                                }
+                        );
                     let Some(d) = inst.dst else { continue };
                     let invariant = pure
                         && defs[d.0 as usize] == 1
@@ -731,9 +737,7 @@ mod tests {
 
     #[test]
     fn folds_constant_arithmetic_into_store() {
-        let mut f = ir_main(
-            "(global a (array int 1)) (defun main () (aset a 0 (+ (* 2 3) 4)))",
-        );
+        let mut f = ir_main("(global a (array int 1)) (defun main () (aset a 0 (+ (* 2 3) 4)))");
         optimize(&mut f);
         // Everything folds; only the store remains.
         assert_eq!(f.inst_count(), 1);
@@ -829,10 +833,7 @@ mod tests {
         );
         optimize(&mut f);
         // No arithmetic survives: x+0 -> x, x*1 -> x, x*0 -> 0.
-        assert_eq!(
-            count_kind(&f, |k| matches!(k, InstKind::Bin { .. })),
-            0
-        );
+        assert_eq!(count_kind(&f, |k| matches!(k, InstKind::Bin { .. })), 0);
     }
 
     #[test]
@@ -843,14 +844,15 @@ mod tests {
         );
         optimize(&mut f);
         // y's multiply is dead.
-        assert_eq!(count_kind(&f, |k| matches!(k, InstKind::Bin { op: BinOp::Mul, .. })), 0);
+        assert_eq!(
+            count_kind(&f, |k| matches!(k, InstKind::Bin { op: BinOp::Mul, .. })),
+            0
+        );
     }
 
     #[test]
     fn sync_loads_are_never_dce_d() {
-        let mut f = ir_main(
-            "(global f (array float 2)) (defun main () (consume f 0))",
-        );
+        let mut f = ir_main("(global f (array float 2)) (defun main () (consume f 0))");
         optimize(&mut f);
         assert_eq!(count_kind(&f, |k| matches!(k, InstKind::Load { .. })), 1);
     }
@@ -859,10 +861,7 @@ mod tests {
     fn constant_branch_becomes_jump() {
         let mut f = ir_main("(defun main () (if (< 1 2) (probe 1) (probe 2)))");
         optimize(&mut f);
-        assert!(f
-            .blocks
-            .iter()
-            .all(|b| !matches!(b.term, Term::Br { .. })));
+        assert!(f.blocks.iter().all(|b| !matches!(b.term, Term::Br { .. })));
         // probe 2 is unreachable but harmless (left to emission's layout).
     }
 
@@ -898,10 +897,15 @@ mod tests {
         // (* i 64) is loop-invariant: after LICM no Mul remains in the
         // loop body (the block that stores).
         for b in &f.blocks {
-            let has_store = b.insts.iter().any(|i| matches!(i.kind, InstKind::Store { .. }));
+            let has_store = b
+                .insts
+                .iter()
+                .any(|i| matches!(i.kind, InstKind::Store { .. }));
             if has_store {
                 assert!(
-                    !b.insts.iter().any(|i| matches!(i.kind, InstKind::Bin { op: BinOp::Mul, .. })),
+                    !b.insts
+                        .iter()
+                        .any(|i| matches!(i.kind, InstKind::Bin { op: BinOp::Mul, .. })),
                     "multiply left inside the loop body"
                 );
             }
@@ -925,15 +929,20 @@ mod tests {
             optimize_with(&mut f, true);
             // The Div stays inside its guarded block.
             f.blocks.iter().enumerate().any(|(bi, b)| {
-                b.insts.iter().any(|i| matches!(i.kind, InstKind::Bin { op: BinOp::Div, .. }))
+                b.insts
+                    .iter()
+                    .any(|i| matches!(i.kind, InstKind::Bin { op: BinOp::Div, .. }))
                     && bi == 0
             })
         };
-        assert!(!changed_div, "division hoisted to entry:
+        assert!(
+            !changed_div,
+            "division hoisted to entry:
 before:
 {before}
 after:
-{f}");
+{f}"
+        );
     }
 
     #[test]
@@ -950,11 +959,18 @@ after:
         let muls_in_store_blocks = f
             .blocks
             .iter()
-            .filter(|b| b.insts.iter().any(|i| matches!(i.kind, InstKind::Store { .. })))
+            .filter(|b| {
+                b.insts
+                    .iter()
+                    .any(|i| matches!(i.kind, InstKind::Store { .. }))
+            })
             .flat_map(|b| &b.insts)
             .filter(|i| matches!(i.kind, InstKind::Bin { op: BinOp::Mul, .. }))
             .count();
-        assert!(muls_in_store_blocks > 0, "paper-faithful compiler should not hoist");
+        assert!(
+            muls_in_store_blocks > 0,
+            "paper-faithful compiler should not hoist"
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! the paper observes.
 
 use crate::error::{CompileError, Result};
-use crate::ir::{Func, Inst, InstKind, IsaOp, Term, Val, VReg};
+use crate::ir::{Func, Inst, InstKind, IsaOp, Term, VReg, Val};
 use pc_isa::{
     BranchOp, ClusterId, CodeSegment, FuId, InstWord, LoadFlavor, MachineConfig, OpKind, Operand,
     Operation, RegId, StoreFlavor, UnitClass,
@@ -62,11 +62,28 @@ struct SOp {
 
 #[derive(Debug, Clone)]
 enum SKind {
-    Alu { op: IsaOp, srcs: Vec<Val> },
-    Ld { flavor: LoadFlavor, base: Val, off: Val },
-    St { flavor: StoreFlavor, base: Val, off: Val, val: Val },
-    Fk { func: usize, args: Vec<Val> },
-    Pr { id: u32 },
+    Alu {
+        op: IsaOp,
+        srcs: Vec<Val>,
+    },
+    Ld {
+        flavor: LoadFlavor,
+        base: Val,
+        off: Val,
+    },
+    St {
+        flavor: StoreFlavor,
+        base: Val,
+        off: Val,
+        val: Val,
+    },
+    Fk {
+        func: usize,
+        args: Vec<Val>,
+    },
+    Pr {
+        id: u32,
+    },
 }
 
 /// Schedules one function.
@@ -120,11 +137,13 @@ pub fn schedule_func(
         .order
         .iter()
         .copied()
-        .filter(|&c| {
-            s.cluster_has(c, UnitClass::Integer) || s.cluster_has(c, UnitClass::Float)
-        })
+        .filter(|&c| s.cluster_has(c, UnitClass::Integer) || s.cluster_has(c, UnitClass::Float))
         .collect();
-    let home_pool = if movable.is_empty() { s.order.clone() } else { movable };
+    let home_pool = if movable.is_empty() {
+        s.order.clone()
+    } else {
+        movable
+    };
     let mut param_regs = Vec::new();
     for (i, p) in f.params.iter().enumerate() {
         let home = home_pool[i % home_pool.len()];
@@ -217,7 +236,11 @@ impl Scheduler<'_> {
 
     /// Builds the placement-ready op list for a block (partitioning plus
     /// communication insertion), then list-schedules it into rows.
-    fn schedule_block(&mut self, block: &crate::ir::Block, next_block: usize) -> Result<Vec<InstWord>> {
+    fn schedule_block(
+        &mut self,
+        block: &crate::ir::Block,
+        next_block: usize,
+    ) -> Result<Vec<InstWord>> {
         let max_dsts = self.config.max_dsts;
         let mut sops: Vec<SOp> = Vec::new();
         // Value availability within this block: clusters holding each value.
@@ -240,8 +263,17 @@ impl Scheduler<'_> {
 
         // Terminator condition must reach the branch cluster.
         let cond_reg = match block.term {
-            Term::Br { cond: Val::R(r), .. } => {
-                self.ensure_local(r, self.branch_cluster, max_dsts, &mut sops, &mut avail, &mut def_sop)?;
+            Term::Br {
+                cond: Val::R(r), ..
+            } => {
+                self.ensure_local(
+                    r,
+                    self.branch_cluster,
+                    max_dsts,
+                    &mut sops,
+                    &mut avail,
+                    &mut def_sop,
+                )?;
                 Some(r)
             }
             _ => None,
@@ -258,10 +290,10 @@ impl Scheduler<'_> {
             let mut last_fork: Option<usize> = None;
             let mut last_probe: Option<usize> = None;
             let edge = |succs: &mut Vec<Vec<(usize, u32)>>,
-                            preds: &mut Vec<usize>,
-                            from: usize,
-                            to: usize,
-                            w: u32| {
+                        preds: &mut Vec<usize>,
+                        from: usize,
+                        to: usize,
+                        w: u32| {
                 if from != to && !succs[from].iter().any(|&(t, w0)| t == to && w0 >= w) {
                     succs[from].push((to, w));
                     preds[to] += 1;
@@ -293,9 +325,8 @@ impl Scheduler<'_> {
                 if let Some((is_store, is_sync, addr)) = op.mem {
                     for &j in &mem_idx {
                         let (js, jsync, jaddr) = sops[j].mem.expect("mem_idx holds mem ops");
-                        let conflict = is_sync
-                            || jsync
-                            || ((is_store || js) && may_alias(addr, jaddr));
+                        let conflict =
+                            is_sync || jsync || ((is_store || js) && may_alias(addr, jaddr));
                         if conflict {
                             edge(&mut succs, &mut preds, j, i, 1);
                         }
@@ -420,7 +451,8 @@ impl Scheduler<'_> {
                         .map(|w| w.op_on(fu).is_none())
                         .unwrap_or(true);
                     let cond_ok = cond_reg.is_none()
-                        || term_row.saturating_sub(1) >= cond_ready_row(&sops, &placed, cond_reg, self.branch_cluster);
+                        || term_row.saturating_sub(1)
+                            >= cond_ready_row(&sops, &placed, cond_reg, self.branch_cluster);
                     if free && cond_ok {
                         term_row = prev;
                     }
@@ -656,8 +688,7 @@ impl Scheduler<'_> {
                 // blocks can route it (memory-only clusters cannot source
                 // copies).
                 let movable = |me: &Self, c: ClusterId| {
-                    me.cluster_has(c, UnitClass::Integer)
-                        || me.cluster_has(c, UnitClass::Float)
+                    me.cluster_has(c, UnitClass::Integer) || me.cluster_has(c, UnitClass::Float)
                 };
                 let default_home = if movable(self, cluster) {
                     cluster
@@ -676,18 +707,12 @@ impl Scheduler<'_> {
             }
         }
         let mem = match &inst.kind {
-            InstKind::Load { flavor, base, off } => Some((
-                false,
-                *flavor != LoadFlavor::Plain,
-                const_addr(*base, *off),
-            )),
+            InstKind::Load { flavor, base, off } => {
+                Some((false, *flavor != LoadFlavor::Plain, const_addr(*base, *off)))
+            }
             InstKind::Store {
                 flavor, base, off, ..
-            } => Some((
-                true,
-                *flavor != StoreFlavor::Plain,
-                const_addr(*base, *off),
-            )),
+            } => Some((true, *flavor != StoreFlavor::Plain, const_addr(*base, *off))),
             _ => None,
         };
 
@@ -728,12 +753,9 @@ impl Scheduler<'_> {
         avail: &mut HashMap<VReg, Vec<ClusterId>>,
         def_sop: &mut HashMap<VReg, usize>,
     ) -> Result<()> {
-        let entry = avail.entry(r).or_insert_with(|| {
-            self.homes
-                .get(&r)
-                .map(|h| vec![*h])
-                .unwrap_or_default()
-        });
+        let entry = avail
+            .entry(r)
+            .or_insert_with(|| self.homes.get(&r).map(|h| vec![*h]).unwrap_or_default());
         if entry.is_empty() {
             return Err(CompileError::new(format!(
                 "{}: value {r} used before any definition",
@@ -752,7 +774,10 @@ impl Scheduler<'_> {
         }
         let src = entry.clone();
         // Copy from a cluster holding the value through an available mover.
-        let from_iu = src.iter().copied().find(|&a| self.cluster_has(a, UnitClass::Integer));
+        let from_iu = src
+            .iter()
+            .copied()
+            .find(|&a| self.cluster_has(a, UnitClass::Integer));
         let (from, op, class) = if let Some(a) = from_iu {
             (a, IsaOp::I(pc_isa::IntOp::Mov), UnitClass::Integer)
         } else if let Some(a) = src
@@ -828,11 +853,7 @@ impl Scheduler<'_> {
                 Val::CF(x) => Operand::ImmFloat(x),
             }
         };
-        let dsts: Vec<RegId> = s
-            .writes
-            .iter()
-            .map(|&(v, c)| self.reg(v, c))
-            .collect();
+        let dsts: Vec<RegId> = s.writes.iter().map(|&(v, c)| self.reg(v, c)).collect();
         Ok(match &s.kind {
             SKind::Alu { op, srcs } => {
                 let srcs: Vec<Operand> = srcs.iter().map(|&v| operand(self, v)).collect();
@@ -844,11 +865,7 @@ impl Scheduler<'_> {
             SKind::Ld { flavor, base, off } => {
                 let b = operand(self, *base);
                 let o = operand(self, *off);
-                Operation::new(
-                    OpKind::Mem(pc_isa::MemOp::Load(*flavor)),
-                    vec![b, o],
-                    dsts,
-                )
+                Operation::new(OpKind::Mem(pc_isa::MemOp::Load(*flavor)), vec![b, o], dsts)
             }
             SKind::St {
                 flavor,
@@ -979,8 +996,8 @@ mod tests {
     #[test]
     fn single_mode_pins_to_one_cluster() {
         let config = MachineConfig::baseline();
-        let s = schedule_func(&chain_func(), &config, ScheduleMode::Single, &no_children())
-            .unwrap();
+        let s =
+            schedule_func(&chain_func(), &config, ScheduleMode::Single, &no_children()).unwrap();
         // All non-branch registers in cluster 0 (variant 0).
         for (c, &n) in s.segment.regs_per_cluster.iter().enumerate() {
             if c != 0 {
@@ -1129,9 +1146,8 @@ mod tests {
         let n = s.segment.rows.len() as u32;
         for row in &s.segment.rows {
             for (_, op) in row.slots() {
-                if let OpKind::Branch(
-                    BranchOp::Jmp { target } | BranchOp::Br { target, .. },
-                ) = &op.kind
+                if let OpKind::Branch(BranchOp::Jmp { target } | BranchOp::Br { target, .. }) =
+                    &op.kind
                 {
                     assert!(*target < n, "target {target} out of {n}");
                 }
@@ -1183,9 +1199,7 @@ mod tests {
         for (r, row) in s.segment.rows.iter().enumerate() {
             for (_, op) in row.slots() {
                 match &op.kind {
-                    OpKind::Mem(pc_isa::MemOp::Store(StoreFlavor::Plain)) => {
-                        plain_row = Some(r)
-                    }
+                    OpKind::Mem(pc_isa::MemOp::Store(StoreFlavor::Plain)) => plain_row = Some(r),
                     OpKind::Mem(pc_isa::MemOp::Store(StoreFlavor::Produce)) => {
                         produce_row = Some(r)
                     }
@@ -1259,8 +1273,8 @@ mod tests {
             },
             dst: Some(f.fresh(Ty::Float)),
         }];
-        let err = schedule_func(&f, &config, ScheduleMode::Unrestricted, &no_children())
-            .unwrap_err();
+        let err =
+            schedule_func(&f, &config, ScheduleMode::Unrestricted, &no_children()).unwrap_err();
         assert!(err.msg.contains("FPU"), "{err}");
     }
 

@@ -30,12 +30,8 @@ fn body(i: &str, j: &str) -> String {
 
 /// Deterministic input matrices.
 pub(crate) fn inputs() -> (Vec<f64>, Vec<f64>) {
-    let a: Vec<f64> = (0..N * N)
-        .map(|x| 0.25 * ((x % 7) as f64) - 0.75)
-        .collect();
-    let b: Vec<f64> = (0..N * N)
-        .map(|x| 0.5 * ((x % 5) as f64) - 1.0)
-        .collect();
+    let a: Vec<f64> = (0..N * N).map(|x| 0.25 * ((x % 7) as f64) - 0.75).collect();
+    let b: Vec<f64> = (0..N * N).map(|x| 0.5 * ((x % 5) as f64) - 1.0).collect();
     (a, b)
 }
 

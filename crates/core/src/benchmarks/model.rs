@@ -52,26 +52,26 @@ pub fn netlist() -> Vec<Device> {
     let mut d = Vec::with_capacity(DEVICES);
     // (type, nd, ng, ns, k, vt, lambda)
     let spec: [(i64, i64, i64, i64, f64, f64, f64); 20] = [
-        (0, 4, 2, 6, 2.0e-4, 0.7, 0.02),  // M1 diff pair left
-        (0, 5, 3, 6, 2.0e-4, 0.7, 0.02),  // M2 diff pair right
-        (1, 4, 4, 1, 1.0e-4, 0.8, 0.03),  // M3 mirror load (diode)
-        (1, 5, 4, 1, 1.0e-4, 0.8, 0.03),  // M4 mirror load
-        (0, 6, 7, 0, 3.0e-4, 0.7, 0.02),  // M5 tail source
-        (0, 7, 7, 0, 3.0e-4, 0.7, 0.02),  // M6 bias diode
-        (1, 8, 5, 1, 4.0e-4, 0.8, 0.03),  // M7 second stage
-        (0, 8, 7, 0, 3.0e-4, 0.7, 0.02),  // M8 second-stage sink
-        (1, 9, 8, 1, 5.0e-4, 0.8, 0.03),  // M9 output pull-up
-        (0, 9, 8, 0, 5.0e-4, 0.7, 0.02),  // M10 output pull-down
-        (0, 10, 7, 0, 2.5e-4, 0.7, 0.02), // M11 mirror leg
-        (1, 10, 4, 1, 1.5e-4, 0.8, 0.03), // M12 cascode-ish
+        (0, 4, 2, 6, 2.0e-4, 0.7, 0.02),   // M1 diff pair left
+        (0, 5, 3, 6, 2.0e-4, 0.7, 0.02),   // M2 diff pair right
+        (1, 4, 4, 1, 1.0e-4, 0.8, 0.03),   // M3 mirror load (diode)
+        (1, 5, 4, 1, 1.0e-4, 0.8, 0.03),   // M4 mirror load
+        (0, 6, 7, 0, 3.0e-4, 0.7, 0.02),   // M5 tail source
+        (0, 7, 7, 0, 3.0e-4, 0.7, 0.02),   // M6 bias diode
+        (1, 8, 5, 1, 4.0e-4, 0.8, 0.03),   // M7 second stage
+        (0, 8, 7, 0, 3.0e-4, 0.7, 0.02),   // M8 second-stage sink
+        (1, 9, 8, 1, 5.0e-4, 0.8, 0.03),   // M9 output pull-up
+        (0, 9, 8, 0, 5.0e-4, 0.7, 0.02),   // M10 output pull-down
+        (0, 10, 7, 0, 2.5e-4, 0.7, 0.02),  // M11 mirror leg
+        (1, 10, 4, 1, 1.5e-4, 0.8, 0.03),  // M12 cascode-ish
         (0, 11, 10, 0, 2.0e-4, 0.7, 0.02), // M13
-        (1, 11, 8, 1, 2.0e-4, 0.8, 0.03), // M14
-        (0, 2, 7, 0, 1.0e-4, 0.7, 0.02),  // M15 input bias
-        (0, 3, 7, 0, 1.0e-4, 0.7, 0.02),  // M16 input bias
-        (1, 6, 4, 1, 1.2e-4, 0.8, 0.03),  // M17
-        (0, 4, 10, 0, 1.1e-4, 0.7, 0.02), // M18
-        (1, 9, 10, 1, 1.3e-4, 0.8, 0.03), // M19
-        (0, 11, 7, 0, 1.4e-4, 0.7, 0.02), // M20
+        (1, 11, 8, 1, 2.0e-4, 0.8, 0.03),  // M14
+        (0, 2, 7, 0, 1.0e-4, 0.7, 0.02),   // M15 input bias
+        (0, 3, 7, 0, 1.0e-4, 0.7, 0.02),   // M16 input bias
+        (1, 6, 4, 1, 1.2e-4, 0.8, 0.03),   // M17
+        (0, 4, 10, 0, 1.1e-4, 0.7, 0.02),  // M18
+        (1, 9, 10, 1, 1.3e-4, 0.8, 0.03),  // M19
+        (0, 11, 7, 0, 1.4e-4, 0.7, 0.02),  // M20
     ];
     for (t, nd, ng, ns, k, vt, lambda) in spec {
         d.push(Device {
@@ -179,11 +179,7 @@ pub(crate) fn reference() -> (Vec<f64>, Vec<f64>) {
 /// exactly) — exposed so applications built on the benchmark (see
 /// `examples/circuit_sim.rs`) can validate against it.
 pub fn eval_one(dev: &Device, v: &[f64]) -> f64 {
-    let (vd, vg, vs) = (
-        v[dev.nd as usize],
-        v[dev.ng as usize],
-        v[dev.ns as usize],
-    );
+    let (vd, vg, vs) = (v[dev.nd as usize], v[dev.ng as usize], v[dev.ns as usize]);
     let (vgs, vds, sgn) = if dev.dtype == 0 {
         (vg - vs, vd - vs, 1.0)
     } else {
@@ -214,7 +210,11 @@ pub fn setup(m: &mut Machine) -> Result<(), pc_sim::SimError> {
     m.write_global("dns", &ints(&|d| d.ns))?;
     write_floats(m, "dk", &devs.iter().map(|d| d.k).collect::<Vec<_>>())?;
     write_floats(m, "dvt", &devs.iter().map(|d| d.vt).collect::<Vec<_>>())?;
-    write_floats(m, "dlam", &devs.iter().map(|d| d.lambda).collect::<Vec<_>>())?;
+    write_floats(
+        m,
+        "dlam",
+        &devs.iter().map(|d| d.lambda).collect::<Vec<_>>(),
+    )?;
     write_floats(m, "vnode", &initial_voltages())?;
     m.set_global_empty("mdone")?;
     m.set_global_empty("wdone")?;

@@ -7,9 +7,12 @@
 //! pcsim compile <source.pc> [--single]      # print the scheduled assembly
 //! pcsim exec <source.pc> [--trace N]        # compile and run a source file
 //! pcsim tables [table2|table3|fig5|fig6|fig7|fig8|ablations|registers|scaling]
+//!              [--jobs N]                   # fan the sweep over N host threads
 //! ```
 
-use coupling::experiments::{ablation, baseline, comm, interference, latency, mix, registers, scaling};
+use coupling::experiments::{
+    ablation, baseline, comm, interference, latency, mix, registers, scaling,
+};
 use coupling::{benchmarks, run_benchmark, MachineMode};
 use pc_compiler::ScheduleMode;
 use pc_isa::{ArbitrationPolicy, InterconnectScheme, MachineConfig, MemoryModel, UnitClass};
@@ -20,7 +23,7 @@ fn usage() -> ! {
   pcsim run <matrix|fft|lud|model> [--mode M] [--interconnect I] [--memory MM] [--seed N] [--lockstep] [--priority]
   pcsim compile <source.pc> [--single]
   pcsim exec <source.pc> [--trace N]
-  pcsim tables [table2|table3|fig5|fig6|fig7|fig8|ablations|registers|scaling]"
+  pcsim tables [table2|table3|fig5|fig6|fig7|fig8|ablations|registers|scaling] [--jobs N]"
     );
     std::process::exit(2);
 }
@@ -184,36 +187,45 @@ fn cmd_exec(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_tables(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let which = args.first().map(String::as_str).unwrap_or("");
+    let which = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("");
+    let jobs = match flag_value(args, "--jobs") {
+        Some(s) => s.parse::<usize>()?.max(1),
+        None => coupling::default_jobs(),
+    };
     let want = |k: &str| which.is_empty() || which == k;
     if want("table2") {
-        println!("{}", baseline::run()?.table2().render());
+        println!("{}", baseline::run_jobs(jobs)?.table2().render());
     }
     if want("fig5") {
-        println!("{}", baseline::run()?.fig5().render());
+        println!("{}", baseline::run_jobs(jobs)?.fig5().render());
     }
     if want("table3") {
+        // Two heterogeneous runs; not worth fanning out.
         println!("{}", interference::run()?.render());
     }
     if want("fig6") {
-        println!("{}", comm::run()?.render());
+        println!("{}", comm::run_jobs(jobs)?.render());
     }
     if want("fig7") {
-        println!("{}", latency::run()?.render());
+        println!("{}", latency::run_jobs(jobs)?.render());
     }
     if want("fig8") {
-        println!("{}", mix::run()?.render());
+        println!("{}", mix::run_jobs(jobs)?.render());
     }
     if want("ablations") {
-        for study in ablation::run_all()? {
+        for study in ablation::run_all_jobs(jobs)? {
             println!("{}", study.render());
         }
     }
     if want("registers") {
-        println!("{}", registers::run()?.render());
+        println!("{}", registers::run_jobs(jobs)?.render());
     }
     if want("scaling") {
-        println!("{}", scaling::run()?.render());
+        println!("{}", scaling::run_jobs(jobs)?.render());
     }
     Ok(())
 }

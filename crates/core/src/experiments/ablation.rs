@@ -16,7 +16,7 @@ use crate::runner::{run_benchmark, RunError};
 use pc_isa::{ArbitrationPolicy, InterconnectScheme, MachineConfig};
 
 /// One named configuration point of an ablation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AblationRow {
     /// Benchmark name.
     pub bench: String,
@@ -27,7 +27,7 @@ pub struct AblationRow {
 }
 
 /// Results of one ablation study.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AblationResults {
     /// Study name.
     pub name: &'static str,
@@ -106,7 +106,10 @@ pub fn slip(benches: &[Benchmark]) -> Result<AblationResults, RunError> {
         MachineMode::Coupled,
         &[
             ("slip", MachineConfig::baseline()),
-            ("lockstep", MachineConfig::baseline().with_lockstep_issue(true)),
+            (
+                "lockstep",
+                MachineConfig::baseline().with_lockstep_issue(true),
+            ),
         ],
     )
 }
@@ -203,10 +206,8 @@ pub fn cluster_count(benches: &[Benchmark]) -> Result<AblationResults, RunError>
 /// # Errors
 /// Propagates pipeline failures.
 pub fn bank_conflicts(benches: &[Benchmark]) -> Result<AblationResults, RunError> {
-    let banked = |n| {
-        MachineConfig::baseline()
-            .with_memory(pc_isa::MemoryModel::min().with_banks(n))
-    };
+    let banked =
+        |n| MachineConfig::baseline().with_memory(pc_isa::MemoryModel::min().with_banks(n));
     sweep(
         "memory bank conflicts (Coupled)",
         benches,
@@ -280,7 +281,10 @@ pub fn optimizer(benches: &[Benchmark]) -> Result<AblationResults, RunError> {
                 b,
                 MachineMode::Coupled,
                 MachineConfig::baseline(),
-                pc_compiler::CompileOptions { optimize, licm: false },
+                pc_compiler::CompileOptions {
+                    optimize,
+                    licm: false,
+                },
             )?;
             rows.push(AblationRow {
                 bench: b.name.to_string(),
@@ -332,23 +336,34 @@ pub fn licm(benches: &[Benchmark]) -> Result<AblationResults, RunError> {
 /// # Errors
 /// Propagates pipeline failures.
 pub fn run_all() -> Result<Vec<AblationResults>, RunError> {
+    run_all_jobs(1)
+}
+
+/// Runs every ablation, fanning the independent studies over `jobs`
+/// worker threads with serial-identical study ordering.
+///
+/// # Errors
+/// Propagates the first (lowest study-index) failure.
+pub fn run_all_jobs(jobs: usize) -> Result<Vec<AblationResults>, RunError> {
     let benches = vec![
         crate::benchmarks::matrix(),
         crate::benchmarks::fft(),
         crate::benchmarks::model(),
     ];
-    Ok(vec![
-        slip(&benches)?,
-        arbitration(&benches)?,
-        dual_destinations(&benches)?,
-        wb_buffering(&benches)?,
-        branch_units(&benches)?,
-        cluster_count(&benches)?,
-        bank_conflicts(&benches)?,
-        fpu_depth(&benches)?,
-        optimizer(&benches)?,
-        licm(&benches)?,
-    ])
+    type Study = fn(&[Benchmark]) -> Result<AblationResults, RunError>;
+    let studies: [Study; 10] = [
+        slip,
+        arbitration,
+        dual_destinations,
+        wb_buffering,
+        branch_units,
+        cluster_count,
+        bank_conflicts,
+        fpu_depth,
+        optimizer,
+        licm,
+    ];
+    crate::sweep::try_par_map(&studies, jobs, |study| study(&benches))
 }
 
 #[cfg(test)]
@@ -398,7 +413,10 @@ mod tests {
         assert!(one > two, "1 cluster {one} vs 2 {two}");
         assert!(two > four, "2 clusters {two} vs 4 {four}");
         // Not perfectly linear: the sequential spawn/join section remains.
-        assert!((four as f64) > (one as f64) / 4.5, "superlinear? {one} -> {four}");
+        assert!(
+            (four as f64) > (one as f64) / 4.5,
+            "superlinear? {one} -> {four}"
+        );
     }
 
     #[test]
@@ -413,8 +431,7 @@ mod tests {
         let out = crate::runner::run_benchmark(
             &benchmarks::matrix(),
             MachineMode::Coupled,
-            MachineConfig::baseline()
-                .with_memory(pc_isa::MemoryModel::min().with_banks(2)),
+            MachineConfig::baseline().with_memory(pc_isa::MemoryModel::min().with_banks(2)),
         )
         .unwrap();
         assert!(
@@ -430,7 +447,10 @@ mod tests {
         let one = r.cycles("Matrix", "1 branch cluster").unwrap();
         // Paper: a single branch unit suffices; allow modest slack.
         let ratio = one as f64 / two as f64;
-        assert!((0.8..1.35).contains(&ratio), "1 vs 2 branch clusters: {ratio}");
+        assert!(
+            (0.8..1.35).contains(&ratio),
+            "1 vs 2 branch clusters: {ratio}"
+        );
     }
 
     #[test]

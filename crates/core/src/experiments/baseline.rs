@@ -9,7 +9,7 @@ use pc_isa::{MachineConfig, UnitClass};
 use std::collections::BTreeMap;
 
 /// One benchmark × mode measurement.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BaselineRow {
     /// Benchmark name.
     pub bench: String,
@@ -27,7 +27,7 @@ pub struct BaselineRow {
 }
 
 /// Results of the baseline study.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BaselineResults {
     /// All measurements, benchmark-major in paper order.
     pub rows: Vec<BaselineRow>,
@@ -95,28 +95,41 @@ impl BaselineResults {
 /// # Errors
 /// Propagates the first compile/simulate/validate failure.
 pub fn run_with(benches: &[Benchmark]) -> Result<BaselineResults, RunError> {
-    let mut results = BaselineResults::default();
-    for b in benches {
-        for mode in MachineMode::all() {
-            if b.source(mode).is_none() {
-                continue;
-            }
-            let out = run_benchmark(b, mode, MachineConfig::baseline())?;
-            let utilization = UnitClass::all()
+    run_with_jobs(benches, 1)
+}
+
+/// [`run_with`] fanning the benchmark × mode grid over `jobs` worker
+/// threads ([`crate::sweep::try_par_map`]); the rows come back in the
+/// same order as the serial sweep.
+///
+/// # Errors
+/// Propagates the first (lowest grid-index) failure.
+pub fn run_with_jobs(benches: &[Benchmark], jobs: usize) -> Result<BaselineResults, RunError> {
+    let points: Vec<(&Benchmark, MachineMode)> = benches
+        .iter()
+        .flat_map(|b| {
+            MachineMode::all()
                 .into_iter()
-                .map(|c| (c, out.stats.utilization(c)))
-                .collect();
-            results.rows.push(BaselineRow {
-                bench: b.name.to_string(),
-                mode,
-                cycles: out.stats.cycles,
-                ops: out.stats.ops_issued,
-                utilization,
-                peak_registers: out.peak_registers,
-            });
-        }
-    }
-    Ok(results)
+                .filter(|&mode| b.source(mode).is_some())
+                .map(move |mode| (b, mode))
+        })
+        .collect();
+    let rows = crate::sweep::try_par_map(&points, jobs, |&(b, mode)| -> Result<_, RunError> {
+        let out = run_benchmark(b, mode, MachineConfig::baseline())?;
+        let utilization = UnitClass::all()
+            .into_iter()
+            .map(|c| (c, out.stats.utilization(c)))
+            .collect();
+        Ok(BaselineRow {
+            bench: b.name.to_string(),
+            mode,
+            cycles: out.stats.cycles,
+            ops: out.stats.ops_issued,
+            utilization,
+            peak_registers: out.peak_registers,
+        })
+    })?;
+    Ok(BaselineResults { rows })
 }
 
 /// Runs the full suite.
@@ -125,6 +138,14 @@ pub fn run_with(benches: &[Benchmark]) -> Result<BaselineResults, RunError> {
 /// Propagates the first failure.
 pub fn run() -> Result<BaselineResults, RunError> {
     run_with(&crate::benchmarks::all())
+}
+
+/// Runs the full suite on `jobs` worker threads.
+///
+/// # Errors
+/// Propagates the first (lowest grid-index) failure.
+pub fn run_jobs(jobs: usize) -> Result<BaselineResults, RunError> {
+    run_with_jobs(&crate::benchmarks::all(), jobs)
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@ use pc_isa::{InterconnectScheme, MachineConfig};
 use pc_xconn::area;
 
 /// One benchmark × scheme measurement.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CommRow {
     /// Benchmark name.
     pub bench: String,
@@ -24,7 +24,7 @@ pub struct CommRow {
 }
 
 /// Results of the communication study.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CommResults {
     /// All measurements.
     pub rows: Vec<CommRow>,
@@ -92,25 +92,35 @@ impl CommResults {
 /// # Errors
 /// Propagates pipeline failures.
 pub fn run_with(benches: &[Benchmark]) -> Result<CommResults, RunError> {
-    let mut results = CommResults::default();
-    for b in benches {
-        for scheme in InterconnectScheme::all() {
-            let config = MachineConfig::baseline().with_interconnect(scheme);
-            let out = run_benchmark(b, MachineMode::Coupled, config)?;
-            results.rows.push(CommRow {
-                bench: b.name.to_string(),
-                scheme,
-                cycles: out.stats.cycles,
-                denials: out.stats.xconn.denials,
-            });
-        }
-    }
+    run_with_jobs(benches, 1)
+}
+
+/// [`run_with`] fanning the benchmark × scheme grid over `jobs` worker
+/// threads with serial-identical row ordering.
+///
+/// # Errors
+/// Propagates the first (lowest grid-index) failure.
+pub fn run_with_jobs(benches: &[Benchmark], jobs: usize) -> Result<CommResults, RunError> {
+    let points: Vec<(&Benchmark, InterconnectScheme)> = benches
+        .iter()
+        .flat_map(|b| InterconnectScheme::all().into_iter().map(move |s| (b, s)))
+        .collect();
+    let rows = crate::sweep::try_par_map(&points, jobs, |&(b, scheme)| -> Result<_, RunError> {
+        let config = MachineConfig::baseline().with_interconnect(scheme);
+        let out = run_benchmark(b, MachineMode::Coupled, config)?;
+        Ok(CommRow {
+            bench: b.name.to_string(),
+            scheme,
+            cycles: out.stats.cycles,
+            denials: out.stats.xconn.denials,
+        })
+    })?;
     let baseline = MachineConfig::baseline();
-    results.area_ratios = InterconnectScheme::all()
+    let area_ratios = InterconnectScheme::all()
         .into_iter()
         .map(|s| (s, area::ratio_to_full(&baseline, s)))
         .collect();
-    Ok(results)
+    Ok(CommResults { rows, area_ratios })
 }
 
 /// Runs the full suite.
@@ -119,6 +129,14 @@ pub fn run_with(benches: &[Benchmark]) -> Result<CommResults, RunError> {
 /// Propagates pipeline failures.
 pub fn run() -> Result<CommResults, RunError> {
     run_with(&crate::benchmarks::all())
+}
+
+/// Runs the full suite on `jobs` worker threads.
+///
+/// # Errors
+/// Propagates the first (lowest grid-index) failure.
+pub fn run_jobs(jobs: usize) -> Result<CommResults, RunError> {
+    run_with_jobs(&crate::benchmarks::all(), jobs)
 }
 
 #[cfg(test)]
@@ -138,7 +156,9 @@ mod tests {
         let tri = r.overhead("Matrix", InterconnectScheme::TriPort).unwrap();
         assert!(tri < 1.30, "Tri-Port overhead {tri}");
         // Single-port is the most restricted port scheme.
-        let single = r.overhead("Matrix", InterconnectScheme::SinglePort).unwrap();
+        let single = r
+            .overhead("Matrix", InterconnectScheme::SinglePort)
+            .unwrap();
         assert!(single >= tri, "Single-Port {single} vs Tri-Port {tri}");
         // Denials appear once ports are restricted.
         assert_eq!(

@@ -54,7 +54,13 @@ impl InterferenceResults {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "Table 3 — interference: per-iteration schedule vs runtime (priority arbitration)",
-            &["Mode", "Thread", "Compile-Time Schedule", "Runtime Cycles", "Devices"],
+            &[
+                "Mode",
+                "Thread",
+                "Compile-Time Schedule",
+                "Runtime Cycles",
+                "Devices",
+            ],
         );
         for r in &self.rows {
             t.row(vec![
@@ -83,8 +89,7 @@ fn loop_body_rows(program: &Program, seg: SegmentId) -> u32 {
     let mut best = 0;
     for (row, word) in seg.rows.iter().enumerate() {
         for (_, op) in word.slots() {
-            if let OpKind::Branch(BranchOp::Jmp { target } | BranchOp::Br { target, .. }) =
-                &op.kind
+            if let OpKind::Branch(BranchOp::Jmp { target } | BranchOp::Br { target, .. }) = &op.kind
             {
                 if (*target as usize) <= row {
                     best = best.max(row as u32 - target + 1);
@@ -129,8 +134,7 @@ pub fn run() -> Result<InterferenceResults, RunError> {
 
     // Coupled: four workers under fixed priority.
     let coupled_bench = model_queue_coupled();
-    let config =
-        MachineConfig::baseline().with_arbitration(ArbitrationPolicy::FixedPriority);
+    let config = MachineConfig::baseline().with_arbitration(ArbitrationPolicy::FixedPriority);
     // Recompile to find per-segment static schedules.
     let coupled = run_benchmark(&coupled_bench, MachineMode::Coupled, config)?;
 
@@ -196,8 +200,7 @@ mod tests {
         let r = run().unwrap();
         // One STS row + four worker rows.
         assert_eq!(r.rows.len(), 5);
-        let workers: Vec<&ThreadRow> =
-            r.rows.iter().filter(|x| x.mode == "Coupled").collect();
+        let workers: Vec<&ThreadRow> = r.rows.iter().filter(|x| x.mode == "Coupled").collect();
         assert_eq!(workers.len(), 4);
         // All 20 devices evaluated, split across workers.
         let total: usize = workers.iter().map(|w| w.devices).sum();

@@ -14,7 +14,7 @@ use pc_isa::{MachineConfig, MemoryModel};
 const SEEDS: [u64; 3] = [11, 42, 1992];
 
 /// One benchmark × mode × memory-model measurement (seed-averaged).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LatencyRow {
     /// Benchmark name.
     pub bench: String,
@@ -27,7 +27,7 @@ pub struct LatencyRow {
 }
 
 /// Results of the latency study.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LatencyResults {
     /// All measurements.
     pub rows: Vec<LatencyRow>,
@@ -114,36 +114,50 @@ pub fn modes() -> [MachineMode; 4] {
 /// # Errors
 /// Propagates pipeline failures.
 pub fn run_with(benches: &[Benchmark]) -> Result<LatencyResults, RunError> {
-    let mut results = LatencyResults::default();
-    for b in benches {
-        for mode in modes() {
-            if b.source(mode).is_none() {
-                continue;
-            }
-            for model in [MemoryModel::min(), MemoryModel::mem1(), MemoryModel::mem2()] {
-                let mut total = 0u64;
-                let mut n = 0u64;
-                for seed in SEEDS {
-                    let config = MachineConfig::baseline()
-                        .with_memory(model)
-                        .with_seed(seed);
-                    let out = run_benchmark(b, mode, config)?;
-                    total += out.stats.cycles;
-                    n += 1;
-                    if model == MemoryModel::min() {
-                        break; // Min is deterministic; one trial suffices.
-                    }
+    run_with_jobs(benches, 1)
+}
+
+/// [`run_with`] fanning the benchmark × mode × memory-model grid over
+/// `jobs` worker threads. One grid point covers all of its seeds, so
+/// the per-row averages are computed exactly as in the serial sweep.
+///
+/// # Errors
+/// Propagates the first (lowest grid-index) failure.
+pub fn run_with_jobs(benches: &[Benchmark], jobs: usize) -> Result<LatencyResults, RunError> {
+    let points: Vec<(&Benchmark, MachineMode, MemoryModel)> = benches
+        .iter()
+        .flat_map(|b| {
+            modes()
+                .into_iter()
+                .filter(|&mode| b.source(mode).is_some())
+                .flat_map(move |mode| {
+                    [MemoryModel::min(), MemoryModel::mem1(), MemoryModel::mem2()]
+                        .into_iter()
+                        .map(move |model| (b, mode, model))
+                })
+        })
+        .collect();
+    let rows =
+        crate::sweep::try_par_map(&points, jobs, |&(b, mode, model)| -> Result<_, RunError> {
+            let mut total = 0u64;
+            let mut n = 0u64;
+            for seed in SEEDS {
+                let config = MachineConfig::baseline().with_memory(model).with_seed(seed);
+                let out = run_benchmark(b, mode, config)?;
+                total += out.stats.cycles;
+                n += 1;
+                if model == MemoryModel::min() {
+                    break; // Min is deterministic; one trial suffices.
                 }
-                results.rows.push(LatencyRow {
-                    bench: b.name.to_string(),
-                    mode,
-                    memory: model.label(),
-                    cycles: total as f64 / n as f64,
-                });
             }
-        }
-    }
-    Ok(results)
+            Ok(LatencyRow {
+                bench: b.name.to_string(),
+                mode,
+                memory: model.label(),
+                cycles: total as f64 / n as f64,
+            })
+        })?;
+    Ok(LatencyResults { rows })
 }
 
 /// Runs the full suite.
@@ -152,6 +166,14 @@ pub fn run_with(benches: &[Benchmark]) -> Result<LatencyResults, RunError> {
 /// Propagates pipeline failures.
 pub fn run() -> Result<LatencyResults, RunError> {
     run_with(&crate::benchmarks::all())
+}
+
+/// Runs the full suite on `jobs` worker threads.
+///
+/// # Errors
+/// Propagates the first (lowest grid-index) failure.
+pub fn run_jobs(jobs: usize) -> Result<LatencyResults, RunError> {
+    run_with_jobs(&crate::benchmarks::all(), jobs)
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@ use crate::runner::{run_benchmark, RunError};
 use pc_isa::MachineConfig;
 
 /// One benchmark × (IUs, FPUs) measurement.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MixRow {
     /// Benchmark name.
     pub bench: String,
@@ -22,7 +22,7 @@ pub struct MixRow {
 }
 
 /// Results of the function-unit-mix study.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MixResults {
     /// All measurements.
     pub rows: Vec<MixRow>,
@@ -82,22 +82,31 @@ pub fn run_with(benches: &[Benchmark]) -> Result<MixResults, RunError> {
 /// # Errors
 /// Propagates pipeline failures.
 pub fn run_grid(benches: &[Benchmark], n: usize) -> Result<MixResults, RunError> {
-    let mut results = MixResults::default();
-    for b in benches {
-        for ius in 1..=n {
-            for fpus in 1..=n {
-                let config = MachineConfig::with_mix(ius, fpus);
-                let out = run_benchmark(b, MachineMode::Coupled, config)?;
-                results.rows.push(MixRow {
-                    bench: b.name.to_string(),
-                    ius,
-                    fpus,
-                    cycles: out.stats.cycles,
-                });
-            }
-        }
-    }
-    Ok(results)
+    run_grid_jobs(benches, n, 1)
+}
+
+/// [`run_grid`] fanning the benchmark × IU × FPU grid over `jobs`
+/// worker threads with serial-identical row ordering.
+///
+/// # Errors
+/// Propagates the first (lowest grid-index) failure.
+pub fn run_grid_jobs(benches: &[Benchmark], n: usize, jobs: usize) -> Result<MixResults, RunError> {
+    let points: Vec<(&Benchmark, usize, usize)> = benches
+        .iter()
+        .flat_map(|b| (1..=n).flat_map(move |ius| (1..=n).map(move |fpus| (b, ius, fpus))))
+        .collect();
+    let rows =
+        crate::sweep::try_par_map(&points, jobs, |&(b, ius, fpus)| -> Result<_, RunError> {
+            let config = MachineConfig::with_mix(ius, fpus);
+            let out = run_benchmark(b, MachineMode::Coupled, config)?;
+            Ok(MixRow {
+                bench: b.name.to_string(),
+                ius,
+                fpus,
+                cycles: out.stats.cycles,
+            })
+        })?;
+    Ok(MixResults { rows })
 }
 
 /// Runs the full suite on the full grid.
@@ -106,6 +115,14 @@ pub fn run_grid(benches: &[Benchmark], n: usize) -> Result<MixResults, RunError>
 /// Propagates pipeline failures.
 pub fn run() -> Result<MixResults, RunError> {
     run_with(&crate::benchmarks::all())
+}
+
+/// Runs the full suite on the full grid over `jobs` worker threads.
+///
+/// # Errors
+/// Propagates the first (lowest grid-index) failure.
+pub fn run_jobs(jobs: usize) -> Result<MixResults, RunError> {
+    run_grid_jobs(&crate::benchmarks::all(), 4, jobs)
 }
 
 #[cfg(test)]
@@ -120,10 +137,7 @@ mod tests {
         let r = run_grid(&[benchmarks::matrix()], 2).unwrap();
         let c11 = r.cycles("Matrix", 1, 1).unwrap();
         let c22 = r.cycles("Matrix", 2, 2).unwrap();
-        assert!(
-            c22 < c11,
-            "2 IU × 2 FPU ({c22}) should beat 1 × 1 ({c11})"
-        );
+        assert!(c22 < c11, "2 IU × 2 FPU ({c22}) should beat 1 × 1 ({c11})");
         assert!(r.render().contains("Figure 8"));
         assert_eq!(r.rows.len(), 4);
     }

@@ -12,7 +12,7 @@ use crate::runner::{run_benchmark, RunError};
 use pc_isa::MachineConfig;
 
 /// One benchmark × mode register measurement.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegisterRow {
     /// Benchmark name.
     pub bench: String,
@@ -25,7 +25,7 @@ pub struct RegisterRow {
 }
 
 /// Results of the register-pressure study.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RegisterResults {
     /// All measurements.
     pub rows: Vec<RegisterRow>,
@@ -94,33 +94,49 @@ impl RegisterResults {
 /// # Errors
 /// Propagates pipeline failures.
 pub fn run_with(benches: &[Benchmark]) -> Result<RegisterResults, RunError> {
-    let mut results = RegisterResults::default();
-    for b in benches {
-        for mode in MachineMode::all() {
-            if b.source(mode).is_none() {
-                continue;
-            }
-            let out = run_benchmark(b, mode, MachineConfig::baseline())?;
-            // Mean per-cluster peak over clusters that hold any register,
-            // over all segments.
-            let (mut total, mut used) = (0u64, 0u64);
-            for seg in &out.segments {
-                for &c in &seg.regs_per_cluster {
-                    if c > 0 {
-                        total += c as u64;
-                        used += 1;
-                    }
+    run_with_jobs(benches, 1)
+}
+
+/// [`run_with`] fanning the benchmark × mode grid over `jobs` worker
+/// threads with serial-identical row ordering.
+///
+/// # Errors
+/// Propagates the first (lowest grid-index) failure.
+pub fn run_with_jobs(benches: &[Benchmark], jobs: usize) -> Result<RegisterResults, RunError> {
+    let points: Vec<(&Benchmark, MachineMode)> = benches
+        .iter()
+        .flat_map(|b| {
+            MachineMode::all()
+                .into_iter()
+                .filter(|&mode| b.source(mode).is_some())
+                .map(move |mode| (b, mode))
+        })
+        .collect();
+    let rows = crate::sweep::try_par_map(&points, jobs, |&(b, mode)| -> Result<_, RunError> {
+        let out = run_benchmark(b, mode, MachineConfig::baseline())?;
+        // Mean per-cluster peak over clusters that hold any register,
+        // over all segments.
+        let (mut total, mut used) = (0u64, 0u64);
+        for seg in &out.segments {
+            for &c in &seg.regs_per_cluster {
+                if c > 0 {
+                    total += c as u64;
+                    used += 1;
                 }
             }
-            results.rows.push(RegisterRow {
-                bench: b.name.to_string(),
-                mode,
-                peak: out.peak_registers,
-                mean_used: if used == 0 { 0.0 } else { total as f64 / used as f64 },
-            });
         }
-    }
-    Ok(results)
+        Ok(RegisterRow {
+            bench: b.name.to_string(),
+            mode,
+            peak: out.peak_registers,
+            mean_used: if used == 0 {
+                0.0
+            } else {
+                total as f64 / used as f64
+            },
+        })
+    })?;
+    Ok(RegisterResults { rows })
 }
 
 /// Runs the full suite.
@@ -129,6 +145,14 @@ pub fn run_with(benches: &[Benchmark]) -> Result<RegisterResults, RunError> {
 /// Propagates pipeline failures.
 pub fn run() -> Result<RegisterResults, RunError> {
     run_with(&crate::benchmarks::all())
+}
+
+/// Runs the full suite on `jobs` worker threads.
+///
+/// # Errors
+/// Propagates the first (lowest grid-index) failure.
+pub fn run_jobs(jobs: usize) -> Result<RegisterResults, RunError> {
+    run_with_jobs(&crate::benchmarks::all(), jobs)
 }
 
 #[cfg(test)]

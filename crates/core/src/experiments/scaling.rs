@@ -12,7 +12,7 @@ use pc_isa::{MachineConfig, Value};
 use pc_sim::Machine;
 
 /// One size × mode measurement.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScalingRow {
     /// Matrix dimension `n` (an `n × n` multiply).
     pub n: usize,
@@ -23,7 +23,7 @@ pub struct ScalingRow {
 }
 
 /// Results of the scaling study.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ScalingResults {
     /// All measurements.
     pub rows: Vec<ScalingRow>,
@@ -40,7 +40,9 @@ impl ScalingResults {
 
     /// STS/Coupled ratio at one size.
     pub fn advantage(&self, n: usize) -> Option<f64> {
-        Some(self.cycles(n, MachineMode::Sts)? as f64 / self.cycles(n, MachineMode::Coupled)? as f64)
+        Some(
+            self.cycles(n, MachineMode::Sts)? as f64 / self.cycles(n, MachineMode::Coupled)? as f64,
+        )
     }
 
     /// Renders the study.
@@ -108,7 +110,11 @@ fn inputs(n: usize) -> (Vec<f64>, Vec<f64>) {
 /// Runs one size × mode point, validating numerically.
 fn run_point(n: usize, mode: MachineMode) -> Result<u64, RunError> {
     let config = MachineConfig::baseline();
-    let out = compile(&source(n, mode.is_threaded()), &config, mode.schedule_mode())?;
+    let out = compile(
+        &source(n, mode.is_threaded()),
+        &config,
+        mode.schedule_mode(),
+    )?;
     let mut m = Machine::new(config, out.program)?;
     let (a, b) = inputs(n);
     let write = |m: &mut Machine, name: &str, xs: &[f64]| {
@@ -145,17 +151,27 @@ fn run_point(n: usize, mode: MachineMode) -> Result<u64, RunError> {
 /// # Errors
 /// Propagates pipeline failures.
 pub fn run_sizes(sizes: &[usize]) -> Result<ScalingResults, RunError> {
-    let mut results = ScalingResults::default();
-    for &n in sizes {
-        for mode in [MachineMode::Sts, MachineMode::Coupled] {
-            results.rows.push(ScalingRow {
-                n,
-                mode,
-                cycles: run_point(n, mode)?,
-            });
-        }
-    }
-    Ok(results)
+    run_sizes_jobs(sizes, 1)
+}
+
+/// [`run_sizes`] fanning the size × mode grid over `jobs` worker
+/// threads with serial-identical row ordering.
+///
+/// # Errors
+/// Propagates the first (lowest grid-index) failure.
+pub fn run_sizes_jobs(sizes: &[usize], jobs: usize) -> Result<ScalingResults, RunError> {
+    let points: Vec<(usize, MachineMode)> = sizes
+        .iter()
+        .flat_map(|&n| [MachineMode::Sts, MachineMode::Coupled].map(|mode| (n, mode)))
+        .collect();
+    let rows = crate::sweep::try_par_map(&points, jobs, |&(n, mode)| -> Result<_, RunError> {
+        Ok(ScalingRow {
+            n,
+            mode,
+            cycles: run_point(n, mode)?,
+        })
+    })?;
+    Ok(ScalingResults { rows })
 }
 
 /// The default sweep (4–24; 24 spawns 24 threads + main, within budget).
@@ -164,6 +180,14 @@ pub fn run_sizes(sizes: &[usize]) -> Result<ScalingResults, RunError> {
 /// Propagates pipeline failures.
 pub fn run() -> Result<ScalingResults, RunError> {
     run_sizes(&[4, 9, 16, 24])
+}
+
+/// The default sweep on `jobs` worker threads.
+///
+/// # Errors
+/// Propagates the first (lowest grid-index) failure.
+pub fn run_jobs(jobs: usize) -> Result<ScalingResults, RunError> {
+    run_sizes_jobs(&[4, 9, 16, 24], jobs)
 }
 
 #[cfg(test)]

@@ -25,7 +25,9 @@ pub mod experiments;
 pub mod mode;
 pub mod report;
 pub mod runner;
+pub mod sweep;
 
 pub use benchmarks::Benchmark;
 pub use mode::MachineMode;
 pub use runner::{run_benchmark, RunError, RunOutcome};
+pub use sweep::{default_jobs, par_map, try_par_map};

@@ -83,8 +83,14 @@ mod tests {
         assert_eq!(MachineMode::Seq.schedule_mode(), ScheduleMode::Single);
         assert_eq!(MachineMode::Tpe.schedule_mode(), ScheduleMode::Single);
         assert_eq!(MachineMode::Sts.schedule_mode(), ScheduleMode::Unrestricted);
-        assert_eq!(MachineMode::Coupled.schedule_mode(), ScheduleMode::Unrestricted);
-        assert_eq!(MachineMode::Ideal.schedule_mode(), ScheduleMode::Unrestricted);
+        assert_eq!(
+            MachineMode::Coupled.schedule_mode(),
+            ScheduleMode::Unrestricted
+        );
+        assert_eq!(
+            MachineMode::Ideal.schedule_mode(),
+            ScheduleMode::Unrestricted
+        );
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Host-side parallel sweep driver.
+//!
+//! Every experiment in [`crate::experiments`] is an embarrassingly
+//! parallel grid — benchmark × mode × interconnect × memory model ×
+//! unit mix — of independent compile/simulate/validate pipelines. This
+//! module fans such a grid across host cores with **deterministic result
+//! ordering**: [`par_map`] returns results in item order no matter how
+//! the OS schedules the workers, so a parallel sweep is bit-identical to
+//! the serial one. (The heavy dependency this would normally use, rayon,
+//! is unavailable offline; scoped threads and a shared work index cover
+//! the need.)
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Number of worker threads to use by default: the host's available
+/// parallelism, or 1 if that cannot be determined.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on up to `jobs` worker threads, returning
+/// the results **in item order** (the scheduling of workers never leaks
+/// into the output). `jobs <= 1` runs inline on the caller's thread with
+/// no spawning at all, which keeps the serial path byte-for-byte the
+/// old code path.
+///
+/// Workers pull items from a shared atomic index (work stealing by
+/// competition), so uneven per-item cost — an LUD run next to a tiny
+/// Matrix run — balances automatically.
+///
+/// # Panics
+/// Propagates a panic from `f` after all workers finish.
+pub fn par_map<I, O, F>(items: &[I], jobs: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let jobs = jobs.clamp(1, items.len().max(1));
+    if jobs <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, O)>();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                if tx.send((i, f(item))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<O>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+        for (i, out) in rx {
+            slots[i] = Some(out);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every work item produces one result"))
+            .collect()
+    })
+}
+
+/// [`par_map`] for fallible work: collects `Ok` results in item order,
+/// or returns the error of the **lowest-indexed** failing item — not the
+/// first to fail on the wall clock — so error reporting is deterministic
+/// too. Later items still run to completion (no cancellation), keeping
+/// behaviour identical to the serial `?`-free sweep of the same grid.
+///
+/// # Errors
+/// The error of the lowest-indexed item whose `f` returned `Err`.
+pub fn try_par_map<I, O, E, F>(items: &[I], jobs: usize, f: F) -> Result<Vec<O>, E>
+where
+    I: Sync,
+    O: Send,
+    E: Send,
+    F: Fn(&I) -> Result<O, E> + Sync,
+{
+    par_map(items, jobs, f).into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_item_order() {
+        let items: Vec<u64> = (0..64).collect();
+        // Make late items finish first to stress the reordering.
+        let out = par_map(&items, 8, |&x| {
+            std::thread::sleep(std::time::Duration::from_micros(64 - x));
+            x * 2
+        });
+        assert_eq!(out, (0..64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u32> = (0..100).collect();
+        let serial = par_map(&items, 1, |&x| x.wrapping_mul(2654435761));
+        let parallel = par_map(&items, 7, |&x| x.wrapping_mul(2654435761));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let none: Vec<u8> = vec![];
+        assert_eq!(par_map(&none, 4, |&x| x), Vec::<u8>::new());
+        assert_eq!(par_map(&[7u8], 4, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn zero_jobs_behaves_like_one() {
+        assert_eq!(par_map(&[1, 2, 3], 0, |&x| x * 10), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn try_par_map_reports_lowest_indexed_error() {
+        let items: Vec<u32> = (0..32).collect();
+        // Items 5 and 20 both fail; 5 must win regardless of timing.
+        let err = try_par_map(&items, 8, |&x| {
+            if x == 5 || x == 20 {
+                // Let the higher-indexed failure race ahead.
+                if x == 5 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                Err(x)
+            } else {
+                Ok(x)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, 5);
+    }
+
+    #[test]
+    fn try_par_map_ok_keeps_order() {
+        let items: Vec<u32> = (0..16).collect();
+        let out: Vec<u32> = try_par_map(&items, 4, |&x| Ok::<_, ()>(x + 1)).unwrap();
+        assert_eq!(out, (1..=16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -133,10 +133,22 @@ impl Interconnect {
     /// # Panics
     /// Panics if a request names a cluster outside `0..n_clusters`.
     pub fn arbitrate(&mut self, reqs: &[WriteReq]) -> Vec<bool> {
+        let mut grants = Vec::with_capacity(reqs.len());
+        self.arbitrate_into(reqs, &mut grants);
+        grants
+    }
+
+    /// [`Interconnect::arbitrate`] writing into a caller-provided buffer,
+    /// so a per-cycle caller can reuse one allocation. `grants` is cleared
+    /// first and ends up holding one flag per request.
+    ///
+    /// # Panics
+    /// Panics if a request names a cluster outside `0..n_clusters`.
+    pub fn arbitrate_into(&mut self, reqs: &[WriteReq], grants: &mut Vec<bool>) {
+        grants.clear();
         self.total_used.iter_mut().for_each(|u| *u = 0);
         self.bused_used.iter_mut().for_each(|u| *u = 0);
         let mut shared_bus_used = false;
-        let mut grants = Vec::with_capacity(reqs.len());
         for r in reqs {
             let d = r.dst_cluster.0 as usize;
             assert!(d < self.n_clusters, "cluster {d} out of range");
@@ -153,8 +165,7 @@ impl Interconnect {
                             self.total_used[d] += 1;
                             true
                         } else if self.bused_used[d] < bused
-                            && (self.scheme != InterconnectScheme::SharedBus
-                                || !shared_bus_used)
+                            && (self.scheme != InterconnectScheme::SharedBus || !shared_bus_used)
                         {
                             // Borrow a bused port (over the shared bus if
                             // that's the scheme's transport).
@@ -171,8 +182,7 @@ impl Interconnect {
                         // Remote writers need a bused port (and the shared
                         // bus, when that is the transport).
                         if self.bused_used[d] < bused
-                            && (self.scheme != InterconnectScheme::SharedBus
-                                || !shared_bus_used)
+                            && (self.scheme != InterconnectScheme::SharedBus || !shared_bus_used)
                         {
                             if self.scheme == InterconnectScheme::SharedBus {
                                 shared_bus_used = true;
@@ -196,7 +206,6 @@ impl Interconnect {
             }
             grants.push(ok);
         }
-        grants
     }
 
     /// Accumulated statistics.
@@ -268,6 +277,16 @@ mod tests {
         // Locals are unaffected by the bus.
         let reqs = vec![req(0, 0), req(1, 1), req(2, 3)];
         assert_eq!(net.arbitrate(&reqs), vec![true, true, true]);
+    }
+
+    #[test]
+    fn arbitrate_into_reuses_and_clears_buffer() {
+        let mut net = Interconnect::new(InterconnectScheme::SinglePort, 2);
+        let mut grants = vec![true; 8]; // stale contents must be cleared
+        net.arbitrate_into(&[req(0, 1), req(1, 1)], &mut grants);
+        assert_eq!(grants, vec![true, false]);
+        net.arbitrate_into(&[req(0, 0)], &mut grants);
+        assert_eq!(grants, vec![true]);
     }
 
     #[test]

@@ -109,7 +109,7 @@ impl ClusterConfig {
 
 /// Identifies one function unit instance across the whole machine
 /// (an index into [`MachineConfig::units`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FuId(pub u16);
 
 impl fmt::Display for FuId {
@@ -551,9 +551,7 @@ mod tests {
         assert_eq!(mc.count_class(UnitClass::Branch), 1);
         // Every arithmetic cluster has a memory unit.
         for c in mc.arith_clusters() {
-            assert!(mc
-                .units_in_cluster(c)
-                .any(|u| u.class == UnitClass::Memory));
+            assert!(mc.units_in_cluster(c).any(|u| u.class == UnitClass::Memory));
         }
     }
 

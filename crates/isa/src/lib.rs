@@ -47,8 +47,8 @@ pub mod validate;
 pub mod value;
 
 pub use config::{
-    ArbitrationPolicy, ClusterConfig, FuId, FuInfo, InterconnectScheme, MachineConfig,
-    MemoryModel, UnitClass, UnitConfig,
+    ArbitrationPolicy, ClusterConfig, FuId, FuInfo, InterconnectScheme, MachineConfig, MemoryModel,
+    UnitClass, UnitConfig,
 };
 pub use error::{IsaError, Result};
 pub use inst::InstWord;

@@ -340,7 +340,11 @@ impl Operation {
 
     /// Shorthand for a load.
     pub fn load(flavor: LoadFlavor, base: Operand, offset: Operand, dst: RegId) -> Self {
-        Operation::new(OpKind::Mem(MemOp::Load(flavor)), vec![base, offset], vec![dst])
+        Operation::new(
+            OpKind::Mem(MemOp::Load(flavor)),
+            vec![base, offset],
+            vec![dst],
+        )
     }
 
     /// Shorthand for a store.
@@ -367,7 +371,8 @@ impl fmt::Display for Operation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.kind.mnemonic())?;
         match &self.kind {
-            OpKind::Branch(BranchOp::Jmp { target }) | OpKind::Branch(BranchOp::Br { target, .. }) => {
+            OpKind::Branch(BranchOp::Jmp { target })
+            | OpKind::Branch(BranchOp::Br { target, .. }) => {
                 write!(f, " @{target}")?;
             }
             OpKind::Branch(BranchOp::Fork { segment, .. }) => write!(f, " seg{}", segment.0)?,
@@ -576,7 +581,10 @@ mod tests {
             eval_int(IntOp::Mov, &[Value::Float(2.5)]).unwrap(),
             Value::Float(2.5)
         );
-        assert_eq!(eval_int(IntOp::Mov, &[Value::Int(7)]).unwrap(), Value::Int(7));
+        assert_eq!(
+            eval_int(IntOp::Mov, &[Value::Int(7)]).unwrap(),
+            Value::Int(7)
+        );
     }
 
     #[test]

@@ -6,8 +6,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Index of a code segment within a [`Program`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SegmentId(pub u32);
 
 impl fmt::Display for SegmentId {
@@ -72,7 +71,6 @@ pub struct Program {
     pub memory_size: u64,
 }
 
-
 impl Program {
     /// Creates an empty program.
     pub fn new() -> Self {
@@ -105,14 +103,8 @@ impl Program {
         let name = name.into();
         let addr = self.memory_size;
         self.memory_size += len;
-        self.symbols.insert(
-            name.clone(),
-            Symbol {
-                name,
-                addr,
-                len,
-            },
-        );
+        self.symbols
+            .insert(name.clone(), Symbol { name, addr, len });
         addr
     }
 

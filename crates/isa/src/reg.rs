@@ -10,7 +10,7 @@
 use std::fmt;
 
 /// Identifies one cluster of the machine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClusterId(pub u16);
 
 impl fmt::Display for ClusterId {
@@ -27,7 +27,7 @@ impl fmt::Display for ClusterId {
 /// let r = RegId::new(ClusterId(2), 5);
 /// assert_eq!(r.to_string(), "c2.r5");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RegId {
     /// The cluster whose register file holds the register.
     pub cluster: ClusterId,

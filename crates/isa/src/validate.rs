@@ -113,9 +113,7 @@ pub fn validate_program(program: &Program, config: &MachineConfig) -> Result<()>
                             }
                         }
                         BranchOp::Fork { segment, arg_dsts } => {
-                            let Some(child) =
-                                program.segments.get(segment.0 as usize)
-                            else {
+                            let Some(child) = program.segments.get(segment.0 as usize) else {
                                 return Err(at(format!("fork to unknown {segment}")));
                             };
                             if arg_dsts.len() != op.srcs.len() {
@@ -180,7 +178,11 @@ mod tests {
         let mut row = InstWord::new();
         row.push(
             FuId(0),
-            Operation::int(IntOp::Add, vec![Operand::ImmInt(1), Operand::ImmInt(2)], r(0, 0)),
+            Operation::int(
+                IntOp::Add,
+                vec![Operand::ImmInt(1), Operand::ImmInt(2)],
+                r(0, 0),
+            ),
         );
         let p = one_row_program(row, vec![1, 0, 0, 0, 0, 0]);
         validate_program(&p, &base()).unwrap();
@@ -198,7 +200,11 @@ mod tests {
         // Integer op on the FPU (unit 1 of cluster 0).
         row.push(
             FuId(1),
-            Operation::int(IntOp::Add, vec![Operand::ImmInt(1), Operand::ImmInt(2)], r(0, 0)),
+            Operation::int(
+                IntOp::Add,
+                vec![Operand::ImmInt(1), Operand::ImmInt(2)],
+                r(0, 0),
+            ),
         );
         let p = one_row_program(row, vec![1, 0, 0, 0, 0, 0]);
         let err = validate_program(&p, &base()).unwrap_err();
@@ -253,7 +259,11 @@ mod tests {
         let mut row = InstWord::new();
         row.push(
             FuId(0),
-            Operation::int(IntOp::Add, vec![Operand::ImmInt(1), Operand::ImmInt(2)], r(0, 5)),
+            Operation::int(
+                IntOp::Add,
+                vec![Operand::ImmInt(1), Operand::ImmInt(2)],
+                r(0, 5),
+            ),
         );
         let p = one_row_program(row, vec![5, 0, 0, 0, 0, 0]); // r5 needs count 6
         assert!(validate_program(&p, &base()).is_err());
@@ -337,7 +347,12 @@ mod tests {
         let mut row = InstWord::new();
         row.push(
             FuId(2),
-            Operation::load(LoadFlavor::Plain, Operand::ImmInt(0), Operand::ImmInt(0), r(0, 0)),
+            Operation::load(
+                LoadFlavor::Plain,
+                Operand::ImmInt(0),
+                Operand::ImmInt(0),
+                r(0, 0),
+            ),
         );
         let p = one_row_program(row, vec![1, 0, 0, 0, 0, 0]);
         validate_program(&p, &base()).unwrap();

@@ -21,7 +21,10 @@ impl fmt::Display for MemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MemError::OutOfBounds { addr } => {
-                write!(f, "address {addr} exceeds simulated memory ({MAX_WORDS} words)")
+                write!(
+                    f,
+                    "address {addr} exceeds simulated memory ({MAX_WORDS} words)"
+                )
             }
         }
     }

@@ -34,7 +34,7 @@ pub struct MemCompletion {
     pub value: Option<Value>,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct InFlight {
     id: u64,
     addr: u64,
@@ -64,6 +64,9 @@ pub struct MemorySystem {
     seq: u64,
     /// Next free cycle per interleaved bank (empty = no bank conflicts).
     bank_free: Vec<u64>,
+    /// Scratch for [`MemorySystem::tick_into`]'s due-reference pass,
+    /// retained across cycles so the steady state never allocates.
+    tick_due: Vec<InFlight>,
 }
 
 impl MemorySystem {
@@ -78,6 +81,7 @@ impl MemorySystem {
             stats: MemStats::default(),
             seq: 0,
             bank_free: vec![0; model.banks as usize],
+            tick_due: Vec::new(),
         }
     }
 
@@ -104,7 +108,8 @@ impl MemorySystem {
             seq: self.seq,
         });
         self.seq += 1;
-        let outstanding = self.in_flight.len() + self.parked.values().map(VecDeque::len).sum::<usize>();
+        let outstanding =
+            self.in_flight.len() + self.parked.values().map(VecDeque::len).sum::<usize>();
         self.stats.peak_in_flight = self.stats.peak_in_flight.max(outstanding);
     }
 
@@ -116,23 +121,44 @@ impl MemorySystem {
     /// # Errors
     /// Propagates [`MemError::OutOfBounds`] for wild addresses.
     pub fn tick(&mut self, now: u64) -> Result<Vec<MemCompletion>, MemError> {
-        let mut due: Vec<InFlight> = Vec::new();
-        let mut rest = Vec::with_capacity(self.in_flight.len());
-        for f in self.in_flight.drain(..) {
-            if f.ready <= now {
-                due.push(f);
+        let mut done = Vec::new();
+        self.tick_into(now, &mut done)?;
+        Ok(done)
+    }
+
+    /// [`MemorySystem::tick`] appending into a caller-provided buffer, so a
+    /// per-cycle caller can reuse one allocation. `done` is cleared first.
+    ///
+    /// # Errors
+    /// Propagates [`MemError::OutOfBounds`] for wild addresses.
+    pub fn tick_into(&mut self, now: u64, done: &mut Vec<MemCompletion>) -> Result<(), MemError> {
+        done.clear();
+        // Stable in-place partition: due references move to the scratch
+        // buffer, the rest compact to the front. `in_flight` is pushed in
+        // submission order and partitioning is stable, so both halves stay
+        // sorted by `seq` — the deterministic completion order — for free.
+        let mut due = std::mem::take(&mut self.tick_due);
+        due.clear();
+        let mut keep = 0;
+        for i in 0..self.in_flight.len() {
+            if self.in_flight[i].ready <= now {
+                due.push(self.in_flight[i]);
             } else {
-                rest.push(f);
+                self.in_flight.swap(keep, i);
+                keep += 1;
             }
         }
-        self.in_flight = rest;
-        due.sort_by_key(|f| f.seq);
+        self.in_flight.truncate(keep);
+        debug_assert!(due.windows(2).all(|w| w[0].seq < w[1].seq));
 
-        let mut done = Vec::new();
-        for f in due {
-            self.attempt(now, f.id, f.addr, f.kind, false, &mut done)?;
+        for f in &due {
+            if let Err(e) = self.attempt(now, f.id, f.addr, f.kind, false, done) {
+                self.tick_due = due;
+                return Err(e);
+            }
         }
-        Ok(done)
+        self.tick_due = due;
+        Ok(())
     }
 
     /// Attempts one reference; on success also drains any parked references
@@ -159,10 +185,11 @@ impl MemorySystem {
             if !was_parked {
                 self.stats.parked += 1;
             }
-            self.parked
-                .entry(addr)
-                .or_default()
-                .push_back(Parked { id, kind, since: now });
+            self.parked.entry(addr).or_default().push_back(Parked {
+                id,
+                kind,
+                since: now,
+            });
             return Ok(());
         }
         // Perform the access.
@@ -296,7 +323,12 @@ mod tests {
     #[test]
     fn plain_store_then_load() {
         let mut m = min_sys();
-        m.submit(0, 1, 8, RequestKind::Store(StoreFlavor::Plain, Value::Int(42)));
+        m.submit(
+            0,
+            1,
+            8,
+            RequestKind::Store(StoreFlavor::Plain, Value::Int(42)),
+        );
         let done = run(&mut m, 0, 2);
         assert_eq!(done, vec![MemCompletion { id: 1, value: None }]);
         m.submit(2, 2, 8, RequestKind::Load(LoadFlavor::Plain));
@@ -312,12 +344,23 @@ mod tests {
         assert!(run(&mut m, 0, 5).is_empty());
         assert_eq!(m.parked_count(), 1);
 
-        m.submit(5, 2, 5, RequestKind::Store(StoreFlavor::Produce, Value::Int(7)));
+        m.submit(
+            5,
+            2,
+            5,
+            RequestKind::Store(StoreFlavor::Produce, Value::Int(7)),
+        );
         let done = run(&mut m, 5, 3);
         // Store completes, then the parked consume wakes in the same tick.
         assert_eq!(done.len(), 2);
         assert_eq!(done[0].id, 2);
-        assert_eq!(done[1], MemCompletion { id: 1, value: Some(Value::Int(7)) });
+        assert_eq!(
+            done[1],
+            MemCompletion {
+                id: 1,
+                value: Some(Value::Int(7))
+            }
+        );
         // The consume re-emptied the cell.
         assert!(!m.is_full(5).unwrap());
         assert!(m.quiescent());
@@ -328,13 +371,24 @@ mod tests {
         let mut m = min_sys();
         // Location starts full: a produce must wait for empty.
         m.write_word(9, Value::Int(1)).unwrap();
-        m.submit(0, 1, 9, RequestKind::Store(StoreFlavor::Produce, Value::Int(2)));
+        m.submit(
+            0,
+            1,
+            9,
+            RequestKind::Store(StoreFlavor::Produce, Value::Int(2)),
+        );
         assert!(run(&mut m, 0, 3).is_empty());
         m.submit(3, 2, 9, RequestKind::Load(LoadFlavor::Consume));
         let done = run(&mut m, 3, 3);
         assert_eq!(done.len(), 2);
         // Consume got the OLD value, then the produce completed.
-        assert_eq!(done[0], MemCompletion { id: 2, value: Some(Value::Int(1)) });
+        assert_eq!(
+            done[0],
+            MemCompletion {
+                id: 2,
+                value: Some(Value::Int(1))
+            }
+        );
         assert_eq!(done[1], MemCompletion { id: 1, value: None });
         assert!(m.is_full(9).unwrap());
         assert_eq!(m.read_word(9).unwrap(), Value::Int(2));
@@ -354,10 +408,20 @@ mod tests {
     fn wait_full_store_updates_in_place() {
         let mut m = min_sys();
         m.set_empty(4, 1).unwrap();
-        m.submit(0, 1, 4, RequestKind::Store(StoreFlavor::WaitFull, Value::Int(5)));
+        m.submit(
+            0,
+            1,
+            4,
+            RequestKind::Store(StoreFlavor::WaitFull, Value::Int(5)),
+        );
         assert!(run(&mut m, 0, 3).is_empty());
         // Fill it: the waiting update then lands and leaves it full.
-        m.submit(3, 2, 4, RequestKind::Store(StoreFlavor::Plain, Value::Int(1)));
+        m.submit(
+            3,
+            2,
+            4,
+            RequestKind::Store(StoreFlavor::Plain, Value::Int(1)),
+        );
         let done = run(&mut m, 3, 3);
         assert_eq!(done.len(), 2);
         assert_eq!(m.read_word(4).unwrap(), Value::Int(5));
@@ -374,15 +438,37 @@ mod tests {
         assert!(run(&mut m, 0, 2).is_empty());
         assert_eq!(m.parked_count(), 2);
         // One produce wakes exactly one consumer (the first, FIFO).
-        m.submit(2, 3, 0, RequestKind::Store(StoreFlavor::Produce, Value::Int(10)));
+        m.submit(
+            2,
+            3,
+            0,
+            RequestKind::Store(StoreFlavor::Produce, Value::Int(10)),
+        );
         let done = run(&mut m, 2, 2);
         assert_eq!(done.len(), 2);
-        assert_eq!(done[1], MemCompletion { id: 1, value: Some(Value::Int(10)) });
+        assert_eq!(
+            done[1],
+            MemCompletion {
+                id: 1,
+                value: Some(Value::Int(10))
+            }
+        );
         assert_eq!(m.parked_count(), 1);
         // Second produce frees the second consumer.
-        m.submit(4, 4, 0, RequestKind::Store(StoreFlavor::Produce, Value::Int(11)));
+        m.submit(
+            4,
+            4,
+            0,
+            RequestKind::Store(StoreFlavor::Produce, Value::Int(11)),
+        );
         let done = run(&mut m, 4, 2);
-        assert_eq!(done[1], MemCompletion { id: 2, value: Some(Value::Int(11)) });
+        assert_eq!(
+            done[1],
+            MemCompletion {
+                id: 2,
+                value: Some(Value::Int(11))
+            }
+        );
         assert!(m.quiescent());
     }
 
@@ -397,7 +483,12 @@ mod tests {
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].id, 1);
         assert_eq!(m.parked_count(), 1);
-        m.submit(3, 3, 20, RequestKind::Store(StoreFlavor::Plain, Value::Int(0))); // t1 releases
+        m.submit(
+            3,
+            3,
+            20,
+            RequestKind::Store(StoreFlavor::Plain, Value::Int(0)),
+        ); // t1 releases
         let done = run(&mut m, 3, 2);
         assert_eq!(done.len(), 2); // release + t2's acquire
         assert_eq!(done[1].id, 2);
@@ -425,7 +516,12 @@ mod tests {
         m.set_empty(1, 1).unwrap();
         m.submit(0, 1, 1, RequestKind::Load(LoadFlavor::Consume));
         let _ = run(&mut m, 0, 4);
-        m.submit(4, 2, 1, RequestKind::Store(StoreFlavor::Plain, Value::Int(1)));
+        m.submit(
+            4,
+            2,
+            1,
+            RequestKind::Store(StoreFlavor::Plain, Value::Int(1)),
+        );
         let _ = run(&mut m, 4, 2);
         let s = m.stats();
         assert_eq!(s.loads, 1);
@@ -461,6 +557,26 @@ mod tests {
         }
         assert_eq!(m.tick(1).unwrap().len(), 4);
         assert_eq!(m.stats().bank_wait_cycles, 0);
+    }
+
+    #[test]
+    fn tick_into_clears_buffer_and_matches_tick() {
+        let mut a = min_sys();
+        let mut b = a.clone();
+        for i in 0..6 {
+            a.submit(0, i, 10 + i, RequestKind::Load(LoadFlavor::Plain));
+            b.submit(0, i, 10 + i, RequestKind::Load(LoadFlavor::Plain));
+        }
+        let via_tick = a.tick(1).unwrap();
+        let mut via_into = vec![MemCompletion {
+            id: 99,
+            value: None,
+        }]; // stale
+        b.tick_into(1, &mut via_into).unwrap();
+        assert_eq!(via_tick, via_into);
+        // A later empty tick clears the buffer rather than appending.
+        b.tick_into(2, &mut via_into).unwrap();
+        assert!(via_into.is_empty());
     }
 
     #[test]

@@ -33,6 +33,17 @@ pub enum SimError {
         /// The configured maximum.
         max: usize,
     },
+    /// The memory system reported a completion for a token the machine
+    /// never issued (or already retired) — an engine invariant violation.
+    UnknownToken {
+        /// The unrecognized completion token.
+        token: u64,
+    },
+    /// A load completed without a value — an engine invariant violation.
+    MissingLoadValue {
+        /// The completion token of the offending load.
+        token: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -51,6 +62,12 @@ impl fmt::Display for SimError {
             SimError::CycleLimit { limit } => write!(f, "cycle limit {limit} exceeded"),
             SimError::ThreadLimit { max } => {
                 write!(f, "fork exceeds thread budget of {max}")
+            }
+            SimError::UnknownToken { token } => {
+                write!(f, "memory completion for unknown token {token}")
+            }
+            SimError::MissingLoadValue { token } => {
+                write!(f, "load completion for token {token} carried no value")
             }
         }
     }
@@ -97,5 +114,11 @@ mod tests {
         assert!(d.source().is_none());
         assert!(SimError::CycleLimit { limit: 9 }.to_string().contains("9"));
         assert!(SimError::ThreadLimit { max: 3 }.to_string().contains("3"));
+        assert!(SimError::UnknownToken { token: 4 }
+            .to_string()
+            .contains("unknown token 4"));
+        assert!(SimError::MissingLoadValue { token: 6 }
+            .to_string()
+            .contains("token 6"));
     }
 }

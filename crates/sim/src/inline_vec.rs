@@ -1,0 +1,205 @@
+//! A small vector that stores up to `N` elements inline and spills to the
+//! heap only beyond that.
+//!
+//! The simulator's hot loop ([`crate::Machine`]'s `step`) moves operation
+//! source values and writeback destination lists around every cycle.
+//! Nearly all operations have at most three sources and a couple of
+//! destinations, so a plain `Vec` makes every issue and every completion
+//! allocate. `InlineVec` keeps those common cases on the stack; the rare
+//! wide case (a `fork` passing many arguments) transparently spills.
+
+/// A vector of `Copy` elements with inline storage for the first `N`.
+///
+/// Once a push exceeds `N` the contents move to a heap `Vec` and stay
+/// there for the value's lifetime; the spill path is expected to be cold.
+#[derive(Debug, Clone)]
+pub(crate) enum InlineVec<T: Copy + Default, const N: usize> {
+    /// Up to `N` elements stored in place.
+    Inline {
+        /// Valid prefix length of `buf`.
+        len: u8,
+        /// Element storage; slots at `len..` hold `T::default()` filler.
+        buf: [T; N],
+    },
+    /// Overflowed storage.
+    Heap(Vec<T>),
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// An empty vector (allocation-free).
+    pub(crate) fn new() -> Self {
+        InlineVec::Inline {
+            len: 0,
+            buf: [T::default(); N],
+        }
+    }
+
+    /// Copies a slice (allocation-free when `src.len() <= N`).
+    pub(crate) fn from_slice(src: &[T]) -> Self {
+        if src.len() <= N {
+            let mut buf = [T::default(); N];
+            buf[..src.len()].copy_from_slice(src);
+            InlineVec::Inline {
+                len: src.len() as u8,
+                buf,
+            }
+        } else {
+            InlineVec::Heap(src.to_vec())
+        }
+    }
+
+    /// Appends an element, spilling to the heap past `N`.
+    pub(crate) fn push(&mut self, v: T) {
+        match self {
+            InlineVec::Inline { len, buf } => {
+                if (*len as usize) < N {
+                    buf[*len as usize] = v;
+                    *len += 1;
+                } else {
+                    let mut spilled = Vec::with_capacity(N + 1);
+                    spilled.extend_from_slice(&buf[..]);
+                    spilled.push(v);
+                    *self = InlineVec::Heap(spilled);
+                }
+            }
+            InlineVec::Heap(vec) => vec.push(v),
+        }
+    }
+
+    /// Removes and returns the element at `i`, shifting the tail left.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub(crate) fn remove(&mut self, i: usize) -> T {
+        match self {
+            InlineVec::Inline { len, buf } => {
+                let n = *len as usize;
+                assert!(i < n, "remove index {i} out of bounds (len {n})");
+                let out = buf[i];
+                buf.copy_within(i + 1..n, i);
+                *len -= 1;
+                out
+            }
+            InlineVec::Heap(vec) => vec.remove(i),
+        }
+    }
+
+    /// The valid elements as a slice.
+    pub(crate) fn as_slice(&self) -> &[T] {
+        match self {
+            InlineVec::Inline { len, buf } => &buf[..*len as usize],
+            InlineVec::Heap(vec) => vec,
+        }
+    }
+
+    /// Number of elements.
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            InlineVec::Inline { len, .. } => *len as usize,
+            InlineVec::Heap(vec) => vec.len(),
+        }
+    }
+
+    /// True when no elements are stored.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over the valid elements.
+    pub(crate) fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::Deref for InlineVec<T, N> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut out = Self::new();
+        for v in iter {
+            out.push(v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: InlineVec<u32, 3> = InlineVec::new();
+        assert!(v.is_empty());
+        v.push(1);
+        v.push(2);
+        v.push(3);
+        assert!(matches!(v, InlineVec::Inline { .. }));
+        assert_eq!(v.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn spills_past_capacity_and_keeps_order() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        for i in 0..5 {
+            v.push(i);
+        }
+        assert!(matches!(v, InlineVec::Heap(_)));
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4]);
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn from_slice_round_trips_both_representations() {
+        let small = InlineVec::<u8, 4>::from_slice(&[7, 8]);
+        assert!(matches!(small, InlineVec::Inline { .. }));
+        assert_eq!(small.as_slice(), &[7, 8]);
+        let big = InlineVec::<u8, 2>::from_slice(&[1, 2, 3]);
+        assert!(matches!(big, InlineVec::Heap(_)));
+        assert_eq!(big.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn remove_shifts_tail() {
+        let mut v = InlineVec::<u32, 4>::from_slice(&[10, 20, 30]);
+        assert_eq!(v.remove(1), 20);
+        assert_eq!(v.as_slice(), &[10, 30]);
+        assert_eq!(v.remove(0), 10);
+        assert_eq!(v.remove(0), 30);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn remove_past_end_panics() {
+        let mut v = InlineVec::<u32, 4>::from_slice(&[1]);
+        v.remove(1);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let v: InlineVec<u32, 2> = (0..4).collect();
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+    }
+}

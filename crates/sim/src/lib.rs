@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod inline_vec;
 mod machine;
 mod regfile;
 mod stats;

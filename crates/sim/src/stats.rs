@@ -19,7 +19,11 @@ pub struct ProbeRecord {
 }
 
 /// Statistics of one completed simulation.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares every counter, so two runs of the same program
+/// on the same configuration can be checked for bit-identical behaviour
+/// (the determinism guardrail for the sweep driver).
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
     /// Total cycles until the last thread halted.
     pub cycles: u64,
@@ -129,11 +133,31 @@ mod tests {
     fn probe_intervals_are_per_thread_per_id() {
         let s = RunStats {
             probes: vec![
-                ProbeRecord { thread: 0, id: 1, cycle: 10 },
-                ProbeRecord { thread: 1, id: 1, cycle: 12 },
-                ProbeRecord { thread: 0, id: 1, cycle: 35 },
-                ProbeRecord { thread: 0, id: 2, cycle: 99 },
-                ProbeRecord { thread: 0, id: 1, cycle: 70 },
+                ProbeRecord {
+                    thread: 0,
+                    id: 1,
+                    cycle: 10,
+                },
+                ProbeRecord {
+                    thread: 1,
+                    id: 1,
+                    cycle: 12,
+                },
+                ProbeRecord {
+                    thread: 0,
+                    id: 1,
+                    cycle: 35,
+                },
+                ProbeRecord {
+                    thread: 0,
+                    id: 2,
+                    cycle: 99,
+                },
+                ProbeRecord {
+                    thread: 0,
+                    id: 1,
+                    cycle: 70,
+                },
             ],
             ..RunStats::default()
         };

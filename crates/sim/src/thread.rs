@@ -65,12 +65,7 @@ pub struct Thread {
 
 impl Thread {
     /// Creates a thread at row 0 of `segment`.
-    pub fn new(
-        id: ThreadId,
-        segment: SegmentId,
-        regs: RegFileSet,
-        now: u64,
-    ) -> Self {
+    pub fn new(id: ThreadId, segment: SegmentId, regs: RegFileSet, now: u64) -> Self {
         Thread {
             id,
             segment,

@@ -26,9 +26,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "model" => benchmarks::model(),
         _ => benchmarks::lud(),
     };
-    let src = if threaded { &b.threaded_src } else { &b.seq_src };
+    let src = if threaded {
+        &b.threaded_src
+    } else {
+        &b.seq_src
+    };
     for (mode, label) in [
-        (ScheduleMode::Single, "SINGLE (one cluster per thread: SEQ/TPE)"),
+        (
+            ScheduleMode::Single,
+            "SINGLE (one cluster per thread: SEQ/TPE)",
+        ),
         (
             ScheduleMode::Unrestricted,
             "UNRESTRICTED (all clusters: STS/Coupled)",

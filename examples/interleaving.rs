@@ -42,7 +42,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = MachineConfig::baseline();
     let out = compile(SRC, &config, ScheduleMode::Unrestricted)?;
     let mut m = Machine::new(config.clone(), out.program)?;
-    let xs: Vec<pc_isa::Value> = (0..32).map(|i| pc_isa::Value::Float(i as f64 * 0.5)).collect();
+    let xs: Vec<pc_isa::Value> = (0..32)
+        .map(|i| pc_isa::Value::Float(i as f64 * 0.5))
+        .collect();
     m.write_global("xs", &xs)?;
     m.set_global_empty("done")?;
     m.enable_trace();
@@ -50,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("Figure 1 — runtime interleaving of the threads' schedules:\n");
     let last = m.trace().iter().map(|e| e.cycle).max().unwrap_or(0);
-    println!("{}", trace::render_interleaving(&config, m.trace(), 0..last + 1));
+    println!(
+        "{}",
+        trace::render_interleaving(&config, m.trace(), 0..last + 1)
+    );
 
     println!("Figure 2 — mapping of function units to threads, first cycles:\n");
     for c in 0..6.min(last + 1) {

@@ -15,7 +15,10 @@ use pc_isa::{MachineConfig, MemoryModel};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bench = benchmarks::matrix();
     println!("Matrix, miss penalty 20–100 cycles, 3 seeds averaged\n");
-    println!("{:>9}  {:>12} {:>9}  {:>12} {:>9}", "miss rate", "STS cycles", "slowdown", "Coupled cyc", "slowdown");
+    println!(
+        "{:>9}  {:>12} {:>9}  {:>12} {:>9}",
+        "miss rate", "STS cycles", "slowdown", "Coupled cyc", "slowdown"
+    );
 
     let mut base = [0.0f64; 2];
     for pct in [0, 5, 10, 20, 30] {
@@ -30,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         };
         let mut cycles = [0.0f64; 2];
-        for (i, mode) in [MachineMode::Sts, MachineMode::Coupled].into_iter().enumerate() {
+        for (i, mode) in [MachineMode::Sts, MachineMode::Coupled]
+            .into_iter()
+            .enumerate()
+        {
             let mut total = 0u64;
             let seeds = if pct == 0 { 1 } else { 3 };
             for seed in 0..seeds {

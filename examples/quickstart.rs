@@ -53,7 +53,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut machine = Machine::new(config, compiled.program)?;
     let xs: Vec<Value> = (0..16).map(|i| Value::Float(0.5 * i as f64)).collect();
-    let ys: Vec<Value> = (0..16).map(|i| Value::Float(1.0 / (1.0 + i as f64))).collect();
+    let ys: Vec<Value> = (0..16)
+        .map(|i| Value::Float(1.0 / (1.0 + i as f64)))
+        .collect();
     machine.write_global("xs", &xs)?;
     machine.write_global("ys", &ys)?;
     machine.set_global_empty("partial")?; // sync cell starts empty

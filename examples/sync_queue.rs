@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("4 worker threads × shared queue of 20 device evaluations\n");
     for (label, policy) in [
         ("round-robin arbitration", ArbitrationPolicy::RoundRobin),
-        ("fixed-priority arbitration", ArbitrationPolicy::FixedPriority),
+        (
+            "fixed-priority arbitration",
+            ArbitrationPolicy::FixedPriority,
+        ),
     ] {
         let config = MachineConfig::baseline().with_arbitration(policy);
         let out = run_benchmark(&model_queue_coupled(), MachineMode::Coupled, config)?;

@@ -1,0 +1,261 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of criterion's API its benches use: benchmark
+//! groups with `sample_size` / `measurement_time` / `warm_up_time`,
+//! `bench_function` with a `Bencher::iter` body, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each sample times a batch of iterations sized so a
+//! batch takes roughly `measurement_time / sample_size`; the report
+//! prints the min / mean / max per-iteration time across samples, in the
+//! familiar `time: [low mean high]` shape.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched
+/// work (forwards to [`std::hint::black_box`]).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// One measured result, exposed so harnesses can collect machine-readable
+/// baselines from a run.
+#[derive(Debug, Clone)]
+pub struct SampleReport {
+    /// `group/bench` identifier.
+    pub id: String,
+    /// Minimum per-iteration time across samples.
+    pub low: Duration,
+    /// Mean per-iteration time across samples.
+    pub mean: Duration,
+    /// Maximum per-iteration time across samples.
+    pub high: Duration,
+    /// Total iterations executed during measurement.
+    pub iterations: u64,
+}
+
+/// The benchmark context handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<SampleReport>,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\nBenchmarking group {name}");
+        BenchmarkGroup {
+            parent: self,
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+
+    /// Benches a function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_bench(
+            &id.into(),
+            10,
+            Duration::from_secs(3),
+            Duration::from_millis(500),
+            f,
+        );
+        self.results.push(report);
+        self
+    }
+
+    /// All results measured through this context so far.
+    pub fn results(&self) -> &[SampleReport] {
+        &self.results
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Benches one function under this group's settings.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let report = run_bench(
+            &id,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            f,
+        );
+        self.parent.results.push(report);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for this sample's iteration count, timing the whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F>(
+    id: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    mut f: F,
+) -> SampleReport
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: run single iterations until the warm-up budget elapses,
+    // which also yields a per-iteration estimate for batch sizing.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    let mut est = Duration::ZERO;
+    while warm_start.elapsed() < warm_up_time || warm_iters == 0 {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        est = b.elapsed;
+        warm_iters += 1;
+        if warm_iters >= 1000 {
+            break;
+        }
+    }
+
+    let per_sample = measurement_time.max(Duration::from_millis(1)) / sample_size as u32;
+    let iters_per_sample = if est.is_zero() {
+        1000
+    } else {
+        (per_sample.as_nanos() / est.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    };
+
+    let mut low = Duration::MAX;
+    let mut high = Duration::ZERO;
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed / iters_per_sample as u32;
+        low = low.min(per_iter);
+        high = high.max(per_iter);
+        total += b.elapsed;
+        total_iters += b.iters;
+    }
+    let mean = total / total_iters.max(1) as u32;
+    eprintln!("{id:<60} time: [{low:>10.2?} {mean:>10.2?} {high:>10.2?}]");
+    SampleReport {
+        id: id.to_string(),
+        low,
+        mean,
+        high,
+        iterations: total_iters,
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        g.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        g.finish();
+    }
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default();
+        target(&mut c);
+        let r = c.results();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].id, "shim/sum");
+        assert!(r[0].iterations > 0);
+        assert!(r[0].low <= r[0].mean && r[0].mean <= r[0].high);
+    }
+
+    criterion_group!(benches, target);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        benches();
+    }
+}

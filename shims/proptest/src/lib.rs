@@ -1,0 +1,594 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of proptest's API its property tests use: the
+//! [`Strategy`] combinators (`prop_map`, `prop_flat_map`, `prop_filter`,
+//! `prop_recursive`, `boxed`), [`BoxedStrategy`], range/tuple/[`Just`]
+//! strategies, `prop::collection::vec`, `prop::array::uniform4/8`,
+//! `prop::sample::select`, `any::<T>()`, and the `proptest!`,
+//! `prop_oneof!`, `prop_assert!`, `prop_assert_eq!` macros.
+//!
+//! Semantics deliberately kept from upstream: deterministic per-test
+//! random input generation and configurable case counts. Deliberately
+//! dropped: shrinking and regression-file persistence — on failure the
+//! panic message carries the assertion context (the tests here embed the
+//! generated program text in their messages).
+
+pub mod test_runner {
+    //! Deterministic RNG + run configuration.
+
+    pub use rand::rngs::StdRng;
+    use rand::{Rng as _, RngCore as _, SeedableRng as _};
+
+    /// Run configuration (subset of upstream's `ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// The RNG threaded through every strategy during one test case.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Deterministic RNG for (test name, case index): identical runs
+        /// generate identical inputs.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            h ^= case as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+            TestRng {
+                inner: StdRng::seed_from_u64(h),
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+
+        /// Bernoulli trial.
+        pub fn gen_bool(&mut self, p: f64) -> bool {
+            self.inner.gen_bool(p)
+        }
+
+        /// Uniform index in `[0, n)`.
+        pub fn gen_index(&mut self, n: usize) -> usize {
+            assert!(n > 0, "gen_index: empty domain");
+            self.inner.gen_range(0..n)
+        }
+
+        /// Uniform sample from an integer/float range.
+        pub fn gen_range<T, R: rand::SampleRange<T>>(&mut self, range: R) -> T {
+            self.inner.gen_range(range)
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value` (upstream's trait,
+    /// minus shrinking).
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+        where
+            Self: Sized + 'static,
+            F: Fn(Self::Value) -> U + 'static,
+        {
+            let s = self;
+            BoxedStrategy::new(move |rng| f(s.sample(rng)))
+        }
+
+        /// Feeds generated values into a strategy-producing function.
+        fn prop_flat_map<S2, F>(self, f: F) -> BoxedStrategy<S2::Value>
+        where
+            Self: Sized + 'static,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2 + 'static,
+        {
+            let s = self;
+            BoxedStrategy::new(move |rng| f(s.sample(rng)).sample(rng))
+        }
+
+        /// Retains only values passing `pred` (bounded retries).
+        fn prop_filter<F>(self, whence: &'static str, pred: F) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            F: Fn(&Self::Value) -> bool + 'static,
+        {
+            let s = self;
+            BoxedStrategy::new(move |rng| {
+                for _ in 0..1000 {
+                    let v = s.sample(rng);
+                    if pred(&v) {
+                        return v;
+                    }
+                }
+                panic!("prop_filter({whence}): no accepted value in 1000 tries");
+            })
+        }
+
+        /// Builds recursive structures: up to `depth` levels where each
+        /// level is either this leaf strategy or one application of `f`.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let leaf = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                let deeper = f(cur).boxed();
+                let l = leaf.clone();
+                cur = BoxedStrategy::new(move |rng| {
+                    if rng.gen_bool(0.5) {
+                        l.sample(rng)
+                    } else {
+                        deeper.sample(rng)
+                    }
+                });
+            }
+            cur
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let s = self;
+            BoxedStrategy::new(move |rng| s.sample(rng))
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T> {
+        sampler: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                sampler: Rc::clone(&self.sampler),
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    impl<T> BoxedStrategy<T> {
+        /// Wraps a sampling closure.
+        pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+            BoxedStrategy {
+                sampler: Rc::new(f),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.sampler)(rng)
+        }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among equally weighted strategies (`prop_oneof!`).
+    pub fn union<T>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T>
+    where
+        T: 'static,
+    {
+        assert!(!arms.is_empty(), "prop_oneof!: no arms");
+        BoxedStrategy::new(move |rng| {
+            let i = rng.gen_index(arms.len());
+            arms[i].sample(rng)
+        })
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for the primitive types the tests use.
+
+    use crate::strategy::{BoxedStrategy, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            // Mostly moderate finite values; a steady trickle of raw bit
+            // patterns covers infinities, NaNs and subnormals.
+            if rng.gen_bool(0.9) {
+                let magnitude = rng.gen_range(-64.0f64..64.0);
+                let scale = 2f64.powi(rng.gen_range(-16i32..16));
+                magnitude * scale
+            } else {
+                f64::from_bits(rng.next_u64())
+            }
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            f64::arbitrary_value(rng) as f32
+        }
+    }
+
+    /// Strategy generating any value of `T`.
+    pub fn any<T: Arbitrary + 'static>() -> BoxedStrategy<T> {
+        struct AnyStrategy<T>(std::marker::PhantomData<T>);
+        impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+            type Value = T;
+            fn sample(&self, rng: &mut TestRng) -> T {
+                T::arbitrary_value(rng)
+            }
+        }
+        AnyStrategy(std::marker::PhantomData).boxed()
+    }
+}
+
+pub mod collection {
+    //! `prop::collection::vec`.
+
+    use crate::strategy::{BoxedStrategy, Strategy};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size specifications accepted by [`vec`].
+    pub trait IntoSizeRange {
+        /// Inclusive `(min, max)` length bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "vec: empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Vectors whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S>(element: S, size: impl IntoSizeRange) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        let (lo, hi) = size.bounds();
+        BoxedStrategy::new(move |rng| {
+            let n = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+            (0..n).map(|_| element.sample(rng)).collect()
+        })
+    }
+}
+
+pub mod array {
+    //! `prop::array::uniform*`.
+
+    use crate::strategy::{BoxedStrategy, Strategy};
+
+    macro_rules! uniform {
+        ($name:ident, $n:literal) => {
+            /// Fixed-size arrays of independently drawn elements.
+            pub fn $name<S>(element: S) -> BoxedStrategy<[S::Value; $n]>
+            where
+                S: Strategy + 'static,
+            {
+                BoxedStrategy::new(move |rng| std::array::from_fn(|_| element.sample(rng)))
+            }
+        };
+    }
+
+    uniform!(uniform2, 2);
+    uniform!(uniform3, 3);
+    uniform!(uniform4, 4);
+    uniform!(uniform8, 8);
+    uniform!(uniform16, 16);
+}
+
+pub mod sample {
+    //! `prop::sample::select`.
+
+    use crate::strategy::BoxedStrategy;
+
+    /// Uniform choice from a fixed set of values.
+    pub fn select<T>(values: impl Into<Vec<T>>) -> BoxedStrategy<T>
+    where
+        T: Clone + 'static,
+    {
+        let values: Vec<T> = values.into();
+        assert!(!values.is_empty(), "select: empty choice set");
+        BoxedStrategy::new(move |rng| values[rng.gen_index(values.len())].clone())
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface (`use proptest::prelude::*`).
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` module tree (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::array;
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Declares deterministic random-input tests.
+///
+/// Accepts upstream's form: an optional
+/// `#![proptest_config(...)]` header, then `#[test]` functions whose
+/// arguments are drawn from strategies with `name in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::strategy::Strategy as _;
+            let cases = $crate::test_runner::ProptestConfig::from($cfg).cases;
+            for case in 0..cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = ($strat).sample(&mut __rng);)+
+                $body
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies generating the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_oneof_sample_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_case("shim", 0);
+        let s = (0i64..10, 5u32..=6, prop_oneof![Just(1u8), Just(2u8)]);
+        for _ in 0..200 {
+            let (a, b, c) = s.sample(&mut rng);
+            assert!((0..10).contains(&a));
+            assert!((5..=6).contains(&b));
+            assert!(c == 1 || c == 2);
+        }
+    }
+
+    #[test]
+    fn collections_and_select_honor_sizes() {
+        let mut rng = crate::test_runner::TestRng::for_case("shim", 1);
+        let v = prop::collection::vec(0u16..4, 2..5);
+        let sel = prop::sample::select(vec!["a", "b"]);
+        let arr = prop::array::uniform4(-1i64..2);
+        for _ in 0..200 {
+            let xs = v.sample(&mut rng);
+            assert!((2..=4).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x < 4));
+            let s = sel.sample(&mut rng);
+            assert!(s == "a" || s == "b");
+            let a = arr.sample(&mut rng);
+            assert!(a.iter().all(|&x| (-1..2).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(v) => u32::from(*v == i64::MIN),
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0i64..8).prop_map(Tree::Leaf);
+        let tree = leaf.prop_recursive(4, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = crate::test_runner::TestRng::for_case("shim", 2);
+        let mut max_depth = 0;
+        for _ in 0..500 {
+            max_depth = max_depth.max(depth(&tree.sample(&mut rng)));
+        }
+        assert!(max_depth >= 1, "recursion never taken");
+        assert!(max_depth <= 4, "depth bound exceeded: {max_depth}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0u8..100, ys in prop::collection::vec(0i64..5, 0..4)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(ys.iter().filter(|&&y| y >= 5).count(), 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_form_works(b in any::<bool>(), f in any::<f64>()) {
+            prop_assert!(u8::from(b) <= 1);
+            prop_assert!(f.is_nan() || f == f);
+        }
+    }
+
+    #[test]
+    fn filter_and_flat_map_compose() {
+        let s = (1usize..4).prop_flat_map(|n| prop::collection::vec(0u8..10, n..=n));
+        let nonzero = any::<i64>().prop_filter("nonzero", |&v| v != 0);
+        let mut rng = crate::test_runner::TestRng::for_case("shim", 3);
+        for _ in 0..100 {
+            let xs = s.sample(&mut rng);
+            assert!((1..=3).contains(&xs.len()));
+            assert_ne!(nonzero.sample(&mut rng), 0);
+        }
+    }
+}

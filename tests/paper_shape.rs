@@ -19,7 +19,10 @@ fn table2_mode_orderings() {
         let ideal = r.cycles(bench, MachineMode::Ideal).unwrap();
         assert!(seq > sts, "{bench}: SEQ {seq} <= STS {sts}");
         assert!(sts > coupled, "{bench}: STS {sts} <= Coupled {coupled}");
-        assert!(ideal < coupled, "{bench}: Ideal {ideal} >= Coupled {coupled}");
+        assert!(
+            ideal < coupled,
+            "{bench}: Ideal {ideal} >= Coupled {coupled}"
+        );
         // Paper: SEQ ≈ 3× Coupled.
         let ratio = seq as f64 / coupled as f64;
         assert!((1.8..5.5).contains(&ratio), "{bench}: SEQ/Coupled {ratio}");
@@ -27,7 +30,11 @@ fn table2_mode_orderings() {
     // Matrix: TPE ≈ Coupled ("nearly equivalent").
     let tpe = r.cycles("Matrix", MachineMode::Tpe).unwrap() as f64;
     let coupled = r.cycles("Matrix", MachineMode::Coupled).unwrap() as f64;
-    assert!((0.75..1.3).contains(&(tpe / coupled)), "TPE/Coupled {}", tpe / coupled);
+    assert!(
+        (0.75..1.3).contains(&(tpe / coupled)),
+        "TPE/Coupled {}",
+        tpe / coupled
+    );
 }
 
 /// Table 2, FFT: "one advantage of Coupled over TPE is found in
@@ -58,11 +65,7 @@ fn fig5_ideal_matrix_fpu_nearly_saturates() {
     assert!(iu < 1.0, "Ideal Matrix IU utilization {iu}");
     // And utilization increases monotonically from SEQ to Coupled.
     let u = |m: MachineMode| {
-        r.rows
-            .iter()
-            .find(|x| x.mode == m)
-            .unwrap()
-            .utilization[&pc_isa::UnitClass::Float]
+        r.rows.iter().find(|x| x.mode == m).unwrap().utilization[&pc_isa::UnitClass::Float]
     };
     assert!(u(MachineMode::Seq) < u(MachineMode::Sts));
     assert!(u(MachineMode::Sts) < u(MachineMode::Coupled));
@@ -106,7 +109,10 @@ fn fig6_comm_shape() {
     assert!(single > tri && bus > tri);
     // Model is "hardly affected" (low ILP): Tri-Port within a few percent.
     let model_tri = r.overhead("Model", InterconnectScheme::TriPort).unwrap();
-    assert!((0.9..1.1).contains(&model_tri), "Model Tri-Port {model_tri}");
+    assert!(
+        (0.9..1.1).contains(&model_tri),
+        "Model Tri-Port {model_tri}"
+    );
     // Area claim: Tri-Port a fraction of fully connected (paper: 28%).
     let area = r
         .area_ratios
@@ -130,7 +136,11 @@ fn fig7_latency_shape() {
     assert!(sts > coupled * 1.5, "STS {sts} vs Coupled {coupled}");
     assert!(ideal < sts, "Ideal {ideal} vs STS {sts}");
     // TPE hides latency almost as well as Coupled (paper: 2.3 vs 2.0).
-    assert!((0.7..1.6).contains(&(tpe / coupled)), "TPE/Coupled {}", tpe / coupled);
+    assert!(
+        (0.7..1.6).contains(&(tpe / coupled)),
+        "TPE/Coupled {}",
+        tpe / coupled
+    );
     // Mem1 is milder than Mem2.
     let m1 = r.slowdown("Matrix", MachineMode::Sts, "Mem1").unwrap();
     assert!(m1 < sts);

@@ -139,9 +139,7 @@ fn ieval(e: &IExpr, ivs: &[i64], fvs: &[f64]) -> Value {
     match e {
         IExpr::Const(c) => Value::Int(*c),
         IExpr::Input(i) => Value::Int(ivs[*i]),
-        IExpr::Bin(o, a, b) => {
-            op::eval_int(*o, &[ieval(a, ivs, fvs), ieval(b, ivs, fvs)]).unwrap()
-        }
+        IExpr::Bin(o, a, b) => op::eval_int(*o, &[ieval(a, ivs, fvs), ieval(b, ivs, fvs)]).unwrap(),
         IExpr::Neg(a) => op::eval_int(IntOp::Neg, &[ieval(a, ivs, fvs)]).unwrap(),
         IExpr::OfFloat(a) => op::eval_float(FloatOp::Ftoi, &[feval(a, ivs, fvs)]).unwrap(),
     }
@@ -181,10 +179,16 @@ fn run_case(
     let config = MachineConfig::baseline().with_interconnect(scheme);
     let out = compile(&src, &config, mode).expect("compiles");
     let mut m = Machine::new(config, out.program).expect("loads");
-    m.write_global("ivs", &ivs.iter().map(|&x| Value::Int(x)).collect::<Vec<_>>())
-        .unwrap();
-    m.write_global("fvs", &fvs.iter().map(|&x| Value::Float(x)).collect::<Vec<_>>())
-        .unwrap();
+    m.write_global(
+        "ivs",
+        &ivs.iter().map(|&x| Value::Int(x)).collect::<Vec<_>>(),
+    )
+    .unwrap();
+    m.write_global(
+        "fvs",
+        &fvs.iter().map(|&x| Value::Float(x)).collect::<Vec<_>>(),
+    )
+    .unwrap();
     m.run(1_000_000).expect("runs");
     let got_i = m.read_global("iout").unwrap()[0];
     let got_f = m.read_global("fout").unwrap()[0];
@@ -322,8 +326,8 @@ fn assembler_roundtrips_benchmark_programs() {
             let out = compile(src, &MachineConfig::baseline(), ScheduleMode::Unrestricted)
                 .unwrap_or_else(|e| panic!("{} {label}: {e}", b.name));
             let text = pc_asm::print_program(&out.program);
-            let back = pc_asm::parse_program(&text)
-                .unwrap_or_else(|e| panic!("{} {label}: {e}", b.name));
+            let back =
+                pc_asm::parse_program(&text).unwrap_or_else(|e| panic!("{} {label}: {e}", b.name));
             assert_eq!(out.program, back, "{} {label}", b.name);
         }
     }

@@ -71,7 +71,10 @@ fn float_address_is_a_type_error() {
     let config = MachineConfig::baseline();
     let mut m = build(src, &config);
     let err = m.run(10_000).unwrap_err();
-    assert!(matches!(err, SimError::Isa(pc_isa::IsaError::DivideByZero)), "{err}");
+    assert!(
+        matches!(err, SimError::Isa(pc_isa::IsaError::DivideByZero)),
+        "{err}"
+    );
 }
 
 #[test]
@@ -120,7 +123,11 @@ fn trace_reconstructs_issue_counts() {
     // Never two events on one unit in one cycle.
     let mut seen = std::collections::HashSet::new();
     for e in m.trace() {
-        assert!(seen.insert((e.cycle, e.fu)), "double issue on {:?}", (e.cycle, e.fu));
+        assert!(
+            seen.insert((e.cycle, e.fu)),
+            "double issue on {:?}",
+            (e.cycle, e.fu)
+        );
     }
 }
 

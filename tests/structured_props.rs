@@ -45,16 +45,11 @@ fn gexpr(depth: u32) -> BoxedStrategy<GExpr> {
     ];
     leaf.prop_recursive(depth, 24, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| GExpr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| GExpr::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| GExpr::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| GExpr::Lt(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| GExpr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| GExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| GExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| GExpr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| GExpr::Lt(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| GExpr::And(Box::new(a), Box::new(b))),
             inner.prop_map(|a| GExpr::Load(Box::new(a))),
         ]
     })
@@ -74,8 +69,7 @@ fn gstmt(depth: u32) -> BoxedStrategy<GStmt> {
                 prop::collection::vec(inner.clone(), 0..3)
             )
                 .prop_map(|(c, t, e)| GStmt::If(c, t, e)),
-            (1u8..4, prop::collection::vec(inner, 1..3))
-                .prop_map(|(k, b)| GStmt::For(k, b)),
+            (1u8..4, prop::collection::vec(inner, 1..3)).prop_map(|(k, b)| GStmt::For(k, b)),
         ]
     })
     .boxed()
