@@ -14,7 +14,9 @@
 //! ```
 
 use coupling::experiments::baseline;
-use coupling::{benchmarks, default_jobs, run_benchmark, MachineMode};
+use coupling::{
+    benchmarks, default_jobs, run_benchmark, run_benchmark_observed, MachineMode, Observe,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 use pc_isa::MachineConfig;
 use std::time::{Duration, Instant};
@@ -23,14 +25,28 @@ use std::time::{Duration, Instant};
 const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simcore.json");
 
 fn bench(c: &mut Criterion) {
+    // CI smoke mode (PC_BENCH_QUICK=1): shrink the statistical budget so
+    // the whole target takes seconds; the perf gate allows 25% noise.
+    let quick = pc_bench::quick_mode();
+    let (samples, measure, warmup, sweep_reps) = if quick {
+        (3, Duration::from_millis(250), Duration::from_millis(50), 1)
+    } else {
+        (
+            pc_bench::SAMPLES,
+            Duration::from_secs(2),
+            Duration::from_millis(300),
+            3,
+        )
+    };
+
     // (a) Hot-loop throughput: full pipeline per benchmark × mode, with
     // the run's cycle count so the report can derive cycles/second.
     let mut cycles_per_case: Vec<(String, u64)> = Vec::new();
     {
         let mut g = c.benchmark_group("simcore");
-        g.sample_size(pc_bench::SAMPLES)
-            .measurement_time(Duration::from_secs(2))
-            .warm_up_time(Duration::from_millis(300));
+        g.sample_size(samples)
+            .measurement_time(measure)
+            .warm_up_time(warmup);
         for b in benchmarks::all() {
             // LUD is ~10× the others; one mode keeps the wall clock sane.
             let modes: &[MachineMode] = if b.name == "LUD" {
@@ -47,14 +63,44 @@ fn bench(c: &mut Criterion) {
                 });
             }
         }
+        // Traced-vs-untraced pair: Matrix/Coupled with stall profiling on.
+        // Compare against the plain Matrix/Coupled case above to see the
+        // cost of observation; the untraced number is what the gate
+        // protects (tracing off must stay free).
+        {
+            let b = benchmarks::matrix();
+            let observe = Observe::profiled();
+            let out = run_benchmark_observed(
+                &b,
+                MachineMode::Coupled,
+                MachineConfig::baseline(),
+                &observe,
+            )
+            .expect("run");
+            cycles_per_case.push((
+                "simcore/Matrix/Coupled/profiled".to_string(),
+                out.stats.cycles,
+            ));
+            g.bench_function("Matrix/Coupled/profiled", |bench| {
+                bench.iter(|| {
+                    run_benchmark_observed(
+                        &b,
+                        MachineMode::Coupled,
+                        MachineConfig::baseline(),
+                        &observe,
+                    )
+                    .expect("run")
+                })
+            });
+        }
         g.finish();
     }
 
-    // (b) Full Table-2 sweep, serial vs parallel, best of 3.
+    // (b) Full Table-2 sweep, serial vs parallel, best of N.
     let time_sweep = |jobs: usize| {
         let mut best = Duration::MAX;
         let mut result = None;
-        for _ in 0..3 {
+        for _ in 0..sweep_reps {
             let start = Instant::now();
             let r = baseline::run_jobs(jobs).expect("table2 sweep");
             best = best.min(start.elapsed());

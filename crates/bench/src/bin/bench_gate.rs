@@ -1,0 +1,91 @@
+//! bench_gate — the perf-regression gate for CI.
+//!
+//! Compares two `BENCH_simcore.json` documents (the committed baseline
+//! and a freshly measured one) and exits non-zero if any shared case's
+//! `sim_cycles_per_sec` dropped by more than the limit:
+//!
+//! ```sh
+//! git show HEAD:BENCH_simcore.json > /tmp/baseline.json
+//! PC_BENCH_QUICK=1 cargo bench -p pc-bench --bench simcore
+//! cargo run -p pc-bench --bin bench_gate -- \
+//!     --baseline /tmp/baseline.json --current BENCH_simcore.json \
+//!     --max-regress-pct 25
+//! ```
+
+use pc_bench::{parse_baseline, regressions, BaselineCase};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_gate --baseline FILE --current FILE [--max-regress-pct N]\n\
+         exits 1 when any case in FILE(baseline) regressed by more than N% (default 25)"
+    );
+    std::process::exit(2);
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn load(path: &str) -> Vec<BaselineCase> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_gate: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse_baseline(&text).unwrap_or_else(|e| {
+        eprintln!("bench_gate: {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(baseline_path) = flag_value(&args, "--baseline") else {
+        usage()
+    };
+    let Some(current_path) = flag_value(&args, "--current") else {
+        usage()
+    };
+    let limit: f64 = flag_value(&args, "--max-regress-pct")
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(25.0);
+
+    let baseline = load(&baseline_path);
+    let current = load(&current_path);
+
+    for b in &baseline {
+        match current.iter().find(|c| c.id == b.id) {
+            Some(c) => {
+                let ratio = if b.sim_cycles_per_sec > 0.0 {
+                    c.sim_cycles_per_sec / b.sim_cycles_per_sec
+                } else {
+                    1.0
+                };
+                println!(
+                    "{:<28} {:>12.0} -> {:>12.0} cycles/s  ({:+.1}%)",
+                    b.id,
+                    b.sim_cycles_per_sec,
+                    c.sim_cycles_per_sec,
+                    100.0 * (ratio - 1.0)
+                );
+            }
+            None => println!("{:<28} missing from current run (skipped)", b.id),
+        }
+    }
+    for c in &current {
+        if !baseline.iter().any(|b| b.id == c.id) {
+            println!("{:<28} new case, no baseline (skipped)", c.id);
+        }
+    }
+
+    let failures = regressions(&baseline, &current, limit);
+    if failures.is_empty() {
+        println!("bench_gate: ok — no case regressed more than {limit:.0}%");
+    } else {
+        for f in &failures {
+            eprintln!("bench_gate: FAIL {f}");
+        }
+        std::process::exit(1);
+    }
+}

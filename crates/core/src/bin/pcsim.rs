@@ -4,6 +4,9 @@
 //! pcsim run <matrix|fft|lud|model> [--mode seq|sts|ideal|tpe|coupled]
 //!           [--interconnect full|tri|dual|single|bus] [--memory min|mem1|mem2]
 //!           [--seed N] [--lockstep] [--priority]
+//! pcsim profile <matrix|fft|lud|model> <seq|sts|ideal|tpe|coupled>
+//!           [--interconnect I] [--memory MM] [--seed N] [--lockstep] [--priority]
+//!           [--jsonl FILE] [--chrome FILE]  # stall table + optional event sinks
 //! pcsim compile <source.pc> [--single]      # print the scheduled assembly
 //! pcsim exec <source.pc> [--trace N]        # compile and run a source file
 //! pcsim tables [table2|table3|fig5|fig6|fig7|fig8|ablations|registers|scaling]
@@ -13,7 +16,7 @@
 use coupling::experiments::{
     ablation, baseline, comm, interference, latency, mix, registers, scaling,
 };
-use coupling::{benchmarks, run_benchmark, MachineMode};
+use coupling::{benchmarks, run_benchmark, run_benchmark_observed, MachineMode, Observe};
 use pc_compiler::ScheduleMode;
 use pc_isa::{ArbitrationPolicy, InterconnectScheme, MachineConfig, MemoryModel, UnitClass};
 
@@ -21,6 +24,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:
   pcsim run <matrix|fft|lud|model> [--mode M] [--interconnect I] [--memory MM] [--seed N] [--lockstep] [--priority]
+  pcsim profile <matrix|fft|lud|model> <seq|sts|ideal|tpe|coupled> [--interconnect I] [--memory MM] [--seed N] [--lockstep] [--priority] [--jsonl FILE] [--chrome FILE]
   pcsim compile <source.pc> [--single]
   pcsim exec <source.pc> [--trace N]
   pcsim tables [table2|table3|fig5|fig6|fig7|fig8|ablations|registers|scaling] [--jobs N]"
@@ -71,6 +75,7 @@ fn main() {
     let rest = &args[1..];
     let result = match cmd.as_str() {
         "run" => cmd_run(rest),
+        "profile" => cmd_profile(rest),
         "compile" => cmd_compile(rest),
         "exec" => cmd_exec(rest),
         "tables" => cmd_tables(rest),
@@ -82,18 +87,17 @@ fn main() {
     }
 }
 
-fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let Some(name) = args.first() else { usage() };
-    let bench = match name.as_str() {
+fn parse_bench(name: &str) -> coupling::Benchmark {
+    match name {
         "matrix" => benchmarks::matrix(),
         "fft" => benchmarks::fft(),
         "lud" => benchmarks::lud(),
         "model" => benchmarks::model(),
         _ => usage(),
-    };
-    let mode = flag_value(args, "--mode")
-        .map(|s| parse_mode(&s))
-        .unwrap_or(MachineMode::Coupled);
+    }
+}
+
+fn parse_config(args: &[String]) -> Result<MachineConfig, Box<dyn std::error::Error>> {
     let mut config = MachineConfig::baseline();
     if let Some(s) = flag_value(args, "--interconnect") {
         config = config.with_interconnect(parse_scheme(&s));
@@ -110,6 +114,16 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if args.iter().any(|a| a == "--priority") {
         config = config.with_arbitration(ArbitrationPolicy::FixedPriority);
     }
+    Ok(config)
+}
+
+fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(name) = args.first() else { usage() };
+    let bench = parse_bench(name);
+    let mode = flag_value(args, "--mode")
+        .map(|s| parse_mode(&s))
+        .unwrap_or(MachineMode::Coupled);
+    let config = parse_config(args)?;
     let out = run_benchmark(&bench, mode, config)?;
     println!("{} / {}: validated ✓", bench.name, mode.label());
     println!("cycles      {}", out.stats.cycles);
@@ -133,6 +147,36 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         out.stats.xconn.grants, out.stats.xconn.denials
     );
     println!("peak regs   {} per cluster", out.peak_registers);
+    Ok(())
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(name) = args.first() else { usage() };
+    let bench = parse_bench(name);
+    let Some(mode_arg) = args.get(1) else { usage() };
+    let mode = parse_mode(mode_arg);
+    let config = parse_config(args)?;
+    let observe = Observe {
+        profile: true,
+        jsonl: flag_value(args, "--jsonl").map(Into::into),
+        chrome: flag_value(args, "--chrome").map(Into::into),
+    };
+    let out = run_benchmark_observed(&bench, mode, config, &observe)?;
+    println!("{} / {}: validated ✓", bench.name, mode.label());
+    println!(
+        "cycles {}   operations {}   threads {}\n",
+        out.stats.cycles, out.stats.ops_issued, out.stats.threads_spawned
+    );
+    println!("{}", coupling::report::stall_report(&out.stats));
+    if let Some(p) = &observe.jsonl {
+        println!("event stream written to {}", p.display());
+    }
+    if let Some(p) = &observe.chrome {
+        println!(
+            "chrome trace written to {} (open in Perfetto / chrome://tracing)",
+            p.display()
+        );
+    }
     Ok(())
 }
 

@@ -77,6 +77,60 @@ pub fn f2(x: f64) -> String {
     format!("{x:.2}")
 }
 
+/// Renders the stall-attribution table of a profiled run (see
+/// [`pc_sim::RunStats::stalls`]): one row per thread with its busy and
+/// per-cause stalled cycles, a totals row, and — when any stall was tied
+/// to a specific unit class — a per-class breakdown. Returns a notice
+/// string when the run was not profiled.
+pub fn stall_report(stats: &pc_sim::RunStats) -> String {
+    use pc_sim::StallCause;
+    if stats.stalls.is_empty() {
+        return "stall attribution: not recorded (run with profiling enabled)".to_string();
+    }
+    let mut header: Vec<&str> = vec!["thread", "alive", "busy"];
+    header.extend(StallCause::ALL.iter().map(|c| c.label()));
+    header.push("busy%");
+    let mut t = Table::new(
+        format!("Stall attribution ({} machine cycles)", stats.cycles),
+        &header,
+    );
+    let fill = |row: &mut Vec<String>, alive: u64, busy: u64, cause: &dyn Fn(StallCause) -> u64| {
+        row.push(alive.to_string());
+        row.push(busy.to_string());
+        for c in StallCause::ALL {
+            row.push(cause(c).to_string());
+        }
+        row.push(f2(100.0 * busy as f64 / alive.max(1) as f64));
+    };
+    for (i, th) in stats.stalls.threads.iter().enumerate() {
+        let mut row = vec![format!("t{i}")];
+        fill(&mut row, th.alive, th.busy, &|c| th.cause(c));
+        t.row(row);
+    }
+    let mut total = vec!["all".to_string()];
+    fill(
+        &mut total,
+        stats.stalls.total_alive(),
+        stats.stalls.total_busy(),
+        &|c| stats.stalls.total_cause(c),
+    );
+    t.row(total);
+    let mut s = t.render();
+    if !stats.stalls.by_class.is_empty() {
+        let mut header: Vec<&str> = vec!["class"];
+        header.extend(StallCause::ALL.iter().map(|c| c.label()));
+        let mut ct = Table::new("Stalled slots by unit class", &header);
+        for (class, by_cause) in &stats.stalls.by_class {
+            let mut row = vec![class.label().to_string()];
+            row.extend(by_cause.iter().map(u64::to_string));
+            ct.row(row);
+        }
+        s.push('\n');
+        s.push_str(&ct.render());
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,5 +156,34 @@ mod tests {
     fn f2_formats() {
         assert_eq!(f2(2.158), "2.16");
         assert_eq!(f2(0.0), "0.00");
+    }
+
+    #[test]
+    fn stall_report_renders_threads_totals_and_classes() {
+        use pc_isa::UnitClass;
+        use pc_sim::StallCause;
+        let mut stats = pc_sim::RunStats {
+            cycles: 10,
+            ..Default::default()
+        };
+        stats.stalls.record_busy(0);
+        stats
+            .stalls
+            .record_stall(0, StallCause::LostArbitration, Some(UnitClass::Integer));
+        stats.stalls.record_stall(1, StallCause::EmptyRow, None);
+        let s = stall_report(&stats);
+        assert!(s.contains("t0"), "{s}");
+        assert!(s.contains("t1"));
+        assert!(s.contains("all"));
+        assert!(s.contains("lost-arb"));
+        assert!(s.contains("empty-row"));
+        assert!(s.contains("Stalled slots by unit class"));
+        assert!(s.contains("IU"));
+    }
+
+    #[test]
+    fn stall_report_notes_unprofiled_runs() {
+        let s = stall_report(&pc_sim::RunStats::default());
+        assert!(s.contains("not recorded"));
     }
 }

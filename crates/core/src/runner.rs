@@ -5,8 +5,11 @@ use crate::benchmarks::Benchmark;
 use crate::mode::MachineMode;
 use pc_compiler::{CompileError, SegmentInfo};
 use pc_isa::MachineConfig;
+use pc_sim::probe::{ChromeTraceSink, Fanout, JsonlSink};
 use pc_sim::{Machine, RunStats, SimError};
 use std::fmt;
+use std::io::BufWriter;
+use std::path::PathBuf;
 
 /// Generous default cycle budget (the largest benchmark, LUD under Mem2,
 /// runs well under a million cycles).
@@ -40,6 +43,8 @@ pub enum RunError {
     Sim(SimError),
     /// The run finished but produced numerically wrong results.
     Check(String),
+    /// A trace-sink file could not be created or written.
+    Io(std::io::Error),
 }
 
 impl fmt::Display for RunError {
@@ -51,6 +56,7 @@ impl fmt::Display for RunError {
             RunError::Compile(e) => write!(f, "compile error: {e}"),
             RunError::Sim(e) => write!(f, "simulation error: {e}"),
             RunError::Check(msg) => write!(f, "validation failed: {msg}"),
+            RunError::Io(e) => write!(f, "trace sink error: {e}"),
         }
     }
 }
@@ -93,6 +99,64 @@ pub fn run_benchmark_with_options(
     config: MachineConfig,
     options: pc_compiler::CompileOptions,
 ) -> Result<RunOutcome, RunError> {
+    run_benchmark_full(bench, mode, config, options, &Observe::default())
+}
+
+/// Observability requests for [`run_benchmark_observed`]: what to record
+/// while the benchmark runs. The default observes nothing (identical to
+/// [`run_benchmark`]).
+#[derive(Debug, Clone, Default)]
+pub struct Observe {
+    /// Fold stall attribution into [`RunStats::stalls`]
+    /// (see `coupling::report::stall_report`).
+    pub profile: bool,
+    /// Stream one JSON event per line to this file.
+    pub jsonl: Option<PathBuf>,
+    /// Write a Chrome `trace_event` array (Perfetto-loadable) to this
+    /// file.
+    pub chrome: Option<PathBuf>,
+}
+
+impl Observe {
+    /// Stall profiling only, no event files.
+    pub fn profiled() -> Self {
+        Observe {
+            profile: true,
+            ..Observe::default()
+        }
+    }
+}
+
+/// [`run_benchmark`] with observability: stall profiling and/or
+/// structured trace sinks. Observation never changes the simulated
+/// schedule — the returned stats differ from an unobserved run only in
+/// [`RunStats::stalls`].
+///
+/// # Errors
+/// See [`RunError`]; sink files that cannot be created surface as
+/// [`RunError::Io`].
+pub fn run_benchmark_observed(
+    bench: &Benchmark,
+    mode: MachineMode,
+    config: MachineConfig,
+    observe: &Observe,
+) -> Result<RunOutcome, RunError> {
+    run_benchmark_full(
+        bench,
+        mode,
+        config,
+        pc_compiler::CompileOptions::default(),
+        observe,
+    )
+}
+
+fn run_benchmark_full(
+    bench: &Benchmark,
+    mode: MachineMode,
+    config: MachineConfig,
+    options: pc_compiler::CompileOptions,
+    observe: &Observe,
+) -> Result<RunOutcome, RunError> {
     let src = bench.source(mode).ok_or(RunError::Unsupported {
         bench: bench.name,
         mode,
@@ -101,7 +165,24 @@ pub fn run_benchmark_with_options(
     let peak = out.peak_registers();
     let mut machine = Machine::new(config, out.program)?;
     (bench.setup)(&mut machine)?;
+    if observe.profile {
+        machine.enable_profiling();
+    }
+    let mut fan = Fanout::new();
+    if let Some(path) = &observe.jsonl {
+        let f = std::fs::File::create(path).map_err(RunError::Io)?;
+        fan = fan.with(Box::new(JsonlSink::new(BufWriter::new(f))));
+    }
+    if let Some(path) = &observe.chrome {
+        let f = std::fs::File::create(path).map_err(RunError::Io)?;
+        fan = fan.with(Box::new(ChromeTraceSink::new(BufWriter::new(f))));
+    }
+    if !fan.is_empty() {
+        machine.attach_probe(Box::new(fan));
+    }
     let stats = machine.run(CYCLE_LIMIT)?;
+    // Flush sink trailers before the stats leave the machine.
+    machine.take_probe();
     (bench.check)(&mut machine).map_err(RunError::Check)?;
     Ok(RunOutcome {
         stats,

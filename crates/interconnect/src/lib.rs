@@ -49,6 +49,31 @@ impl WriteReq {
     }
 }
 
+/// Why one write request was granted or denied this cycle.
+///
+/// Produced by [`Interconnect::arbitrate_explained_into`]; the plain
+/// [`Interconnect::arbitrate_into`] collapses it to a grant flag. Both
+/// entry points share one decision function, so an explained arbitration
+/// is bit-identical to a plain one — the observability layer can never
+/// perturb simulation results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortDecision {
+    /// The write retires this cycle.
+    Granted,
+    /// Denied: the destination file's write ports are all taken.
+    DeniedPortFull,
+    /// Denied: a bus was required (remote write, or a local write that
+    /// had to borrow a bused port) and no bus capacity remained.
+    DeniedBusBusy,
+}
+
+impl PortDecision {
+    /// True when the write was granted.
+    pub fn granted(self) -> bool {
+        self == PortDecision::Granted
+    }
+}
+
 /// Contention statistics accumulated across a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct XconnStats {
@@ -58,6 +83,11 @@ pub struct XconnStats {
     pub denials: u64,
     /// Granted writes that crossed clusters.
     pub remote_grants: u64,
+    /// Denials because every write port of the file was taken.
+    pub denied_port_full: u64,
+    /// Denials because bus capacity (bused ports, or the machine-wide
+    /// shared bus) was exhausted.
+    pub denied_bus_busy: u64,
 }
 
 impl XconnStats {
@@ -146,66 +176,104 @@ impl Interconnect {
     /// Panics if a request names a cluster outside `0..n_clusters`.
     pub fn arbitrate_into(&mut self, reqs: &[WriteReq], grants: &mut Vec<bool>) {
         grants.clear();
-        self.total_used.iter_mut().for_each(|u| *u = 0);
-        self.bused_used.iter_mut().for_each(|u| *u = 0);
+        self.reset_budgets();
         let mut shared_bus_used = false;
         for r in reqs {
-            let d = r.dst_cluster.0 as usize;
-            assert!(d < self.n_clusters, "cluster {d} out of range");
-            let ok = match self.budget() {
-                None => true,
-                Some((total, bused)) => {
-                    if self.total_used[d] >= total {
-                        false
-                    } else if r.is_local() {
-                        // Local writers drive any free port; prefer the
-                        // non-bused one so buses stay free for remotes.
-                        let non_bused = total - bused;
-                        if self.total_used[d] - self.bused_used[d] < non_bused {
-                            self.total_used[d] += 1;
-                            true
-                        } else if self.bused_used[d] < bused
-                            && (self.scheme != InterconnectScheme::SharedBus || !shared_bus_used)
-                        {
-                            // Borrow a bused port (over the shared bus if
-                            // that's the scheme's transport).
-                            if self.scheme == InterconnectScheme::SharedBus {
-                                shared_bus_used = true;
-                            }
-                            self.bused_used[d] += 1;
-                            self.total_used[d] += 1;
-                            true
-                        } else {
-                            false
+            grants.push(self.decide(r, &mut shared_bus_used).granted());
+        }
+    }
+
+    /// [`Interconnect::arbitrate_into`] with per-request
+    /// [`PortDecision`]s instead of bare grant flags, so an observer can
+    /// attribute each denial to port or bus contention. Shares the
+    /// decision function with the plain path: grants (and accumulated
+    /// statistics) are identical.
+    ///
+    /// # Panics
+    /// Panics if a request names a cluster outside `0..n_clusters`.
+    pub fn arbitrate_explained_into(&mut self, reqs: &[WriteReq], out: &mut Vec<PortDecision>) {
+        out.clear();
+        self.reset_budgets();
+        let mut shared_bus_used = false;
+        for r in reqs {
+            out.push(self.decide(r, &mut shared_bus_used));
+        }
+    }
+
+    fn reset_budgets(&mut self) {
+        self.total_used.iter_mut().for_each(|u| *u = 0);
+        self.bused_used.iter_mut().for_each(|u| *u = 0);
+    }
+
+    /// Decides one request against the remaining per-cycle budgets and
+    /// updates statistics — the single source of truth for both
+    /// arbitration entry points.
+    fn decide(&mut self, r: &WriteReq, shared_bus_used: &mut bool) -> PortDecision {
+        let d = r.dst_cluster.0 as usize;
+        assert!(d < self.n_clusters, "cluster {d} out of range");
+        let decision = match self.budget() {
+            None => PortDecision::Granted,
+            Some((total, bused)) => {
+                if self.total_used[d] >= total {
+                    PortDecision::DeniedPortFull
+                } else if r.is_local() {
+                    // Local writers drive any free port; prefer the
+                    // non-bused one so buses stay free for remotes.
+                    let non_bused = total - bused;
+                    if self.total_used[d] - self.bused_used[d] < non_bused {
+                        self.total_used[d] += 1;
+                        PortDecision::Granted
+                    } else if self.bused_used[d] < bused
+                        && (self.scheme != InterconnectScheme::SharedBus || !*shared_bus_used)
+                    {
+                        // Borrow a bused port (over the shared bus if
+                        // that's the scheme's transport).
+                        if self.scheme == InterconnectScheme::SharedBus {
+                            *shared_bus_used = true;
                         }
+                        self.bused_used[d] += 1;
+                        self.total_used[d] += 1;
+                        PortDecision::Granted
                     } else {
-                        // Remote writers need a bused port (and the shared
-                        // bus, when that is the transport).
-                        if self.bused_used[d] < bused
-                            && (self.scheme != InterconnectScheme::SharedBus || !shared_bus_used)
-                        {
-                            if self.scheme == InterconnectScheme::SharedBus {
-                                shared_bus_used = true;
-                            }
-                            self.bused_used[d] += 1;
-                            self.total_used[d] += 1;
-                            true
-                        } else {
-                            false
+                        // Ports remain in total, so what ran out was bus
+                        // capacity: the bused ports or the shared bus.
+                        PortDecision::DeniedBusBusy
+                    }
+                } else {
+                    // Remote writers need a bused port (and the shared
+                    // bus, when that is the transport).
+                    if self.bused_used[d] < bused
+                        && (self.scheme != InterconnectScheme::SharedBus || !*shared_bus_used)
+                    {
+                        if self.scheme == InterconnectScheme::SharedBus {
+                            *shared_bus_used = true;
                         }
+                        self.bused_used[d] += 1;
+                        self.total_used[d] += 1;
+                        PortDecision::Granted
+                    } else {
+                        PortDecision::DeniedBusBusy
                     }
                 }
-            };
-            if ok {
+            }
+        };
+        match decision {
+            PortDecision::Granted => {
                 self.stats.grants += 1;
                 if !r.is_local() {
                     self.stats.remote_grants += 1;
                 }
-            } else {
-                self.stats.denials += 1;
             }
-            grants.push(ok);
+            PortDecision::DeniedPortFull => {
+                self.stats.denials += 1;
+                self.stats.denied_port_full += 1;
+            }
+            PortDecision::DeniedBusBusy => {
+                self.stats.denials += 1;
+                self.stats.denied_bus_busy += 1;
+            }
         }
+        decision
     }
 
     /// Accumulated statistics.
@@ -305,6 +373,47 @@ mod tests {
         assert_eq!(s.denials, 2);
         assert_eq!(s.remote_grants, 1);
         assert!((s.denial_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explained_arbitration_matches_plain_and_classifies_denials() {
+        let reqs = vec![
+            req(1, 1), // local: non-bused port
+            req(0, 1), // remote: the bused port
+            req(2, 1), // remote: no bus capacity left
+            req(3, 1), // remote: likewise
+        ];
+        let mut plain = Interconnect::new(InterconnectScheme::DualPort, 4);
+        let mut explained = Interconnect::new(InterconnectScheme::DualPort, 4);
+        let grants = plain.arbitrate(&reqs);
+        let mut decisions = Vec::new();
+        explained.arbitrate_explained_into(&reqs, &mut decisions);
+        let as_grants: Vec<bool> = decisions.iter().map(|d| d.granted()).collect();
+        assert_eq!(grants, as_grants);
+        assert_eq!(plain.stats(), explained.stats());
+        // All ports taken: denial blames the port budget.
+        assert_eq!(decisions[2], PortDecision::DeniedPortFull);
+        // Ports free but bused capacity exhausted: denial blames the bus.
+        let mut net = Interconnect::new(InterconnectScheme::TriPort, 4);
+        let mut d = Vec::new();
+        net.arbitrate_explained_into(&[req(0, 1), req(2, 1), req(3, 1)], &mut d);
+        assert_eq!(d[2], PortDecision::DeniedBusBusy);
+        // A third local writer on a saturated file is port contention.
+        let mut net = Interconnect::new(InterconnectScheme::DualPort, 4);
+        let mut d = Vec::new();
+        net.arbitrate_explained_into(&[req(1, 1), req(1, 1), req(1, 1)], &mut d);
+        assert_eq!(d[2], PortDecision::DeniedPortFull);
+        assert_eq!(net.stats().denied_port_full, 1);
+    }
+
+    #[test]
+    fn shared_bus_denials_blame_the_bus() {
+        let mut net = Interconnect::new(InterconnectScheme::SharedBus, 4);
+        let mut d = Vec::new();
+        net.arbitrate_explained_into(&[req(0, 1), req(2, 3)], &mut d);
+        assert_eq!(d, vec![PortDecision::Granted, PortDecision::DeniedBusBusy]);
+        assert_eq!(net.stats().denied_bus_busy, 1);
+        assert_eq!(net.stats().denied_port_full, 0);
     }
 
     #[test]

@@ -37,4 +37,4 @@ mod system;
 pub use latency::LatencySampler;
 pub use memory::{MemError, Memory, MAX_WORDS};
 pub use stats::MemStats;
-pub use system::{MemCompletion, MemorySystem, RequestKind};
+pub use system::{MemCompletion, MemEvent, MemorySystem, RequestKind};

@@ -34,6 +34,33 @@ pub struct MemCompletion {
     pub value: Option<Value>,
 }
 
+/// A synchronization event inside the memory system, recorded only when
+/// [`MemorySystem::set_event_recording`] is on (the observability layer's
+/// sync-retry channel). Ids are the caller's submission ids, so the
+/// simulator can map events back to threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemEvent {
+    /// A reference's full/empty precondition was unsatisfied and it
+    /// parked at its address (every re-park after a failed wake counts
+    /// again — each is one sync retry).
+    Parked {
+        /// The caller's submission id.
+        id: u64,
+        /// The blocking address.
+        addr: u64,
+    },
+    /// A parked reference re-attempted after a presence-bit flip and
+    /// completed.
+    Woken {
+        /// The caller's submission id.
+        id: u64,
+        /// The address it was parked at.
+        addr: u64,
+        /// Cycles spent parked (this parking episode).
+        waited: u64,
+    },
+}
+
 #[derive(Debug, Clone, Copy)]
 struct InFlight {
     id: u64,
@@ -67,6 +94,10 @@ pub struct MemorySystem {
     /// Scratch for [`MemorySystem::tick_into`]'s due-reference pass,
     /// retained across cycles so the steady state never allocates.
     tick_due: Vec<InFlight>,
+    /// When true, park/wake transitions are appended to `events`.
+    record_events: bool,
+    /// Recorded [`MemEvent`]s awaiting [`MemorySystem::drain_events_into`].
+    events: Vec<MemEvent>,
 }
 
 impl MemorySystem {
@@ -82,23 +113,44 @@ impl MemorySystem {
             seq: 0,
             bank_free: vec![0; model.banks as usize],
             tick_due: Vec::new(),
+            record_events: false,
+            events: Vec::new(),
         }
+    }
+
+    /// Turns recording of [`MemEvent`]s on or off. Off by default; the
+    /// recording itself never changes reference ordering or latencies.
+    pub fn set_event_recording(&mut self, on: bool) {
+        self.record_events = on;
+        if !on {
+            self.events.clear();
+        }
+    }
+
+    /// Moves all recorded events into `out` (cleared first), oldest
+    /// first. Empty unless [`MemorySystem::set_event_recording`] is on.
+    pub fn drain_events_into(&mut self, out: &mut Vec<MemEvent>) {
+        out.clear();
+        out.append(&mut self.events);
     }
 
     /// Submits a reference at cycle `now`. Its latency is sampled
     /// immediately; it will complete (or park) at `now + latency`, plus
     /// any wait for its interleaved bank when bank conflicts are modeled.
-    pub fn submit(&mut self, now: u64, id: u64, addr: u64, kind: RequestKind) {
+    /// Returns the cycles the reference waited for a busy bank (0 when
+    /// bank conflicts are not modeled) so the caller can attribute the
+    /// conflict without a second bookkeeping path.
+    pub fn submit(&mut self, now: u64, id: u64, addr: u64, kind: RequestKind) -> u64 {
         let lat = self.latency.sample() as u64;
         // Bank serialization: one reference per bank per cycle.
-        let start = if self.bank_free.is_empty() {
-            now
+        let (start, bank_wait) = if self.bank_free.is_empty() {
+            (now, 0)
         } else {
             let b = (addr % self.bank_free.len() as u64) as usize;
             let start = now.max(self.bank_free[b]);
             self.bank_free[b] = start + 1;
             self.stats.bank_wait_cycles += start - now;
-            start
+            (start, start - now)
         };
         self.in_flight.push(InFlight {
             id,
@@ -111,6 +163,7 @@ impl MemorySystem {
         let outstanding =
             self.in_flight.len() + self.parked.values().map(VecDeque::len).sum::<usize>();
         self.stats.peak_in_flight = self.stats.peak_in_flight.max(outstanding);
+        bank_wait
     }
 
     /// Advances to cycle `now`: attempts every reference whose latency has
@@ -185,6 +238,9 @@ impl MemorySystem {
             if !was_parked {
                 self.stats.parked += 1;
             }
+            if self.record_events {
+                self.events.push(MemEvent::Parked { id, addr });
+            }
             self.parked.entry(addr).or_default().push_back(Parked {
                 id,
                 kind,
@@ -234,6 +290,13 @@ impl MemorySystem {
             // starve it if we kept going.
             if done.len() == before {
                 break;
+            }
+            if self.record_events {
+                self.events.push(MemEvent::Woken {
+                    id: p.id,
+                    addr,
+                    waited: now.saturating_sub(p.since),
+                });
             }
         }
         if self.parked.get(&addr).is_some_and(VecDeque::is_empty) {
@@ -557,6 +620,45 @@ mod tests {
         }
         assert_eq!(m.tick(1).unwrap().len(), 4);
         assert_eq!(m.stats().bank_wait_cycles, 0);
+    }
+
+    #[test]
+    fn event_recording_captures_park_and_wake() {
+        let mut m = min_sys();
+        m.set_event_recording(true);
+        m.set_empty(5, 1).unwrap();
+        m.submit(0, 1, 5, RequestKind::Load(LoadFlavor::Consume));
+        let _ = run(&mut m, 0, 4);
+        m.submit(
+            4,
+            2,
+            5,
+            RequestKind::Store(StoreFlavor::Produce, Value::Int(7)),
+        );
+        let _ = run(&mut m, 4, 2);
+        let mut events = Vec::new();
+        m.drain_events_into(&mut events);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0], MemEvent::Parked { id: 1, addr: 5 });
+        assert!(matches!(
+            events[1],
+            MemEvent::Woken { id: 1, addr: 5, waited } if waited >= 4
+        ));
+        // Draining empties the log; disabling clears any residue.
+        m.drain_events_into(&mut events);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn event_recording_off_by_default_and_submit_reports_bank_wait() {
+        let model = MemoryModel::min().with_banks(2);
+        let mut m = MemorySystem::new(model, 64, 0);
+        assert_eq!(m.submit(0, 0, 0, RequestKind::Load(LoadFlavor::Plain)), 0);
+        // Same bank next cycle: one cycle of bank wait, reported back.
+        assert_eq!(m.submit(0, 1, 2, RequestKind::Load(LoadFlavor::Plain)), 1);
+        let mut events = Vec::new();
+        m.drain_events_into(&mut events);
+        assert!(events.is_empty());
     }
 
     #[test]

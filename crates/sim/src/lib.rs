@@ -53,6 +53,7 @@
 mod error;
 mod inline_vec;
 mod machine;
+pub mod probe;
 mod regfile;
 mod stats;
 mod thread;
@@ -60,7 +61,10 @@ pub mod trace;
 
 pub use error::SimError;
 pub use machine::Machine;
+pub use probe::{
+    ChromeTraceSink, EventCounts, Fanout, JsonlSink, Probe, ProbeEvent, RingSink, StallCause,
+};
 pub use regfile::RegFileSet;
-pub use stats::{ProbeRecord, RunStats};
+pub use stats::{ProbeRecord, RunStats, StallTable, ThreadStalls};
 pub use thread::{ThreadId, ThreadState};
 pub use trace::TraceEvent;

@@ -1,6 +1,7 @@
 //! Run statistics: the numbers the paper's tables and figures are built
 //! from.
 
+use crate::probe::StallCause;
 use pc_isa::UnitClass;
 use pc_memsys::MemStats;
 use pc_xconn::XconnStats;
@@ -16,6 +17,101 @@ pub struct ProbeRecord {
     pub id: u32,
     /// Cycle at which the probe issued.
     pub cycle: u64,
+}
+
+/// Per-thread stall accounting: for every cycle the thread was live and
+/// running, exactly one counter advances — `busy` when the thread issued
+/// at least one operation, otherwise one cause in `by_cause`. The
+/// invariant `alive == busy + Σ by_cause` therefore holds whenever
+/// profiling covered the thread's whole life.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadStalls {
+    /// Cycles the thread was live and attributed (running state).
+    pub alive: u64,
+    /// Cycles the thread issued at least one operation.
+    pub busy: u64,
+    /// Stalled cycles, by primary cause (indexed by
+    /// [`StallCause::index`]).
+    pub by_cause: [u64; StallCause::COUNT],
+}
+
+impl ThreadStalls {
+    /// Total stalled cycles across all causes.
+    pub fn stalled(&self) -> u64 {
+        self.by_cause.iter().sum()
+    }
+
+    /// Cycles attributed to one cause.
+    pub fn cause(&self, c: StallCause) -> u64 {
+        self.by_cause[c.index()]
+    }
+}
+
+/// Stall-attribution table: per-thread and per-unit-class breakdowns of
+/// why issue slots went unused. Populated only when
+/// [`crate::Machine::enable_profiling`] is on; otherwise empty (and two
+/// runs differing only in profiling compare equal after clearing it).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StallTable {
+    /// Per-thread accounting, indexed by thread id.
+    pub threads: Vec<ThreadStalls>,
+    /// Stalled cycles by the blocked slot's unit class (control bubbles
+    /// carry no class and appear only in the per-thread rows).
+    pub by_class: BTreeMap<UnitClass, [u64; StallCause::COUNT]>,
+}
+
+impl StallTable {
+    /// True when profiling recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.threads.is_empty()
+    }
+
+    /// Records a busy (issuing) cycle for `thread`.
+    pub fn record_busy(&mut self, thread: u32) {
+        let t = self.slot(thread);
+        t.alive += 1;
+        t.busy += 1;
+    }
+
+    /// Records a stalled cycle for `thread` with its primary cause and,
+    /// when a specific slot was blocked, that slot's unit class.
+    pub fn record_stall(&mut self, thread: u32, cause: StallCause, class: Option<UnitClass>) {
+        let t = self.slot(thread);
+        t.alive += 1;
+        t.by_cause[cause.index()] += 1;
+        if let Some(c) = class {
+            self.by_class.entry(c).or_insert([0; StallCause::COUNT])[cause.index()] += 1;
+        }
+    }
+
+    fn slot(&mut self, thread: u32) -> &mut ThreadStalls {
+        let i = thread as usize;
+        if i >= self.threads.len() {
+            self.threads.resize(i + 1, ThreadStalls::default());
+        }
+        &mut self.threads[i]
+    }
+
+    /// Total cycles attributed to `cause` across all threads.
+    pub fn total_cause(&self, cause: StallCause) -> u64 {
+        self.threads.iter().map(|t| t.cause(cause)).sum()
+    }
+
+    /// Total busy (issuing) thread-cycles.
+    pub fn total_busy(&self) -> u64 {
+        self.threads.iter().map(|t| t.busy).sum()
+    }
+
+    /// Total attributed thread-cycles (`Σ alive`).
+    pub fn total_alive(&self) -> u64 {
+        self.threads.iter().map(|t| t.alive).sum()
+    }
+
+    /// Checks the accounting invariant on every thread:
+    /// `alive == busy + Σ by_cause`.
+    pub fn consistent(&self) -> bool {
+        self.threads.iter().all(|t| t.alive == t.busy + t.stalled())
+    }
 }
 
 /// Statistics of one completed simulation.
@@ -49,6 +145,8 @@ pub struct RunStats {
     pub busy_cycles: u64,
     /// Peak simultaneously live threads.
     pub peak_threads: usize,
+    /// Stall attribution (empty unless profiling was enabled).
+    pub stalls: StallTable,
 }
 
 impl RunStats {
@@ -127,6 +225,29 @@ mod tests {
         // Out-of-range units and empty runs are zero, not panics.
         assert_eq!(s.unit_occupancy(pc_isa::FuId(9)), 0.0);
         assert_eq!(RunStats::default().unit_occupancy(pc_isa::FuId(0)), 0.0);
+    }
+
+    #[test]
+    fn stall_table_accounting_holds_invariant() {
+        let mut t = StallTable::default();
+        assert!(t.is_empty());
+        t.record_busy(0);
+        t.record_stall(0, StallCause::OperandNotPresent, Some(UnitClass::Integer));
+        t.record_stall(1, StallCause::EmptyRow, None);
+        t.record_stall(0, StallCause::MemoryBusy, Some(UnitClass::Memory));
+        assert!(!t.is_empty());
+        assert!(t.consistent());
+        assert_eq!(t.total_alive(), 4);
+        assert_eq!(t.total_busy(), 1);
+        assert_eq!(t.total_cause(StallCause::OperandNotPresent), 1);
+        assert_eq!(t.total_cause(StallCause::EmptyRow), 1);
+        assert_eq!(t.threads[0].stalled(), 2);
+        assert_eq!(
+            t.by_class[&UnitClass::Integer][StallCause::OperandNotPresent.index()],
+            1
+        );
+        // Control bubbles contribute no class row.
+        assert!(!t.by_class.contains_key(&UnitClass::Branch));
     }
 
     #[test]

@@ -61,6 +61,9 @@ pub struct Thread {
     pub spawned_at: u64,
     /// Cycle the thread halted (meaningful once halted).
     pub halted_at: u64,
+    /// Cycle of the thread's most recent issue (stall attribution reads
+    /// this to tell busy cycles from stalled ones).
+    pub last_issue: u64,
 }
 
 impl Thread {
@@ -79,6 +82,7 @@ impl Thread {
             outstanding_mem: Vec::new(),
             spawned_at: now,
             halted_at: 0,
+            last_issue: u64::MAX,
         }
     }
 

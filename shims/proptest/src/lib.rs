@@ -2,8 +2,8 @@
 //!
 //! The build environment has no access to crates.io, so this workspace
 //! vendors the slice of proptest's API its property tests use: the
-//! [`Strategy`] combinators (`prop_map`, `prop_flat_map`, `prop_filter`,
-//! `prop_recursive`, `boxed`), [`BoxedStrategy`], range/tuple/[`Just`]
+//! [`strategy::Strategy`] combinators (`prop_map`, `prop_flat_map`, `prop_filter`,
+//! `prop_recursive`, `boxed`), [`strategy::BoxedStrategy`], range/tuple/[`strategy::Just`]
 //! strategies, `prop::collection::vec`, `prop::array::uniform4/8`,
 //! `prop::sample::select`, `any::<T>()`, and the `proptest!`,
 //! `prop_oneof!`, `prop_assert!`, `prop_assert_eq!` macros.
@@ -346,7 +346,7 @@ pub mod collection {
     use crate::strategy::{BoxedStrategy, Strategy};
     use std::ops::{Range, RangeInclusive};
 
-    /// Size specifications accepted by [`vec`].
+    /// Size specifications accepted by [`vec()`].
     pub trait IntoSizeRange {
         /// Inclusive `(min, max)` length bounds.
         fn bounds(&self) -> (usize, usize);

@@ -1,0 +1,215 @@
+//! Observation must never change the experiment: a run with stall
+//! profiling and/or trace sinks attached has to produce the same
+//! schedule — bit-identical `RunStats` modulo the stall table itself —
+//! as a plain run, the stall table has to account for every live thread
+//! cycle, and the file sinks have to round-trip the event stream.
+
+use coupling::{benchmarks, run_benchmark, run_benchmark_observed, MachineMode, Observe};
+use pc_isa::MachineConfig;
+use pc_sim::StallCause;
+use std::path::PathBuf;
+
+/// A scratch path unique to this test process.
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pc-obs-{}-{name}", std::process::id()))
+}
+
+/// Profiled runs reproduce the plain run exactly, for every benchmark ×
+/// supported mode: same cycles, same utilizations, same memory and
+/// interconnect counters. Only `stats.stalls` may differ (it is the
+/// profile).
+#[test]
+fn profiling_never_perturbs_any_benchmark() {
+    for bench in benchmarks::all() {
+        for mode in MachineMode::all() {
+            if bench.source(mode).is_none() {
+                continue;
+            }
+            let plain = run_benchmark(&bench, mode, MachineConfig::baseline()).unwrap();
+            let mut observed = run_benchmark_observed(
+                &bench,
+                mode,
+                MachineConfig::baseline(),
+                &Observe::profiled(),
+            )
+            .unwrap();
+            assert!(
+                !observed.stats.stalls.is_empty(),
+                "{} {mode}: profile produced no stall table",
+                bench.name
+            );
+            observed.stats.stalls = Default::default();
+            assert_eq!(
+                plain.stats, observed.stats,
+                "{} {mode}: profiling changed the run",
+                bench.name
+            );
+        }
+    }
+}
+
+/// The attribution invariant on real workloads: for every thread,
+/// `alive == busy + Σ stalls(cause)`, and the totals sum consistently
+/// with the machine cycle count (no thread can be live longer than the
+/// run).
+#[test]
+fn stall_table_sums_are_consistent() {
+    for (bench, mode) in [
+        (benchmarks::matrix(), MachineMode::Coupled),
+        (benchmarks::fft(), MachineMode::Sts),
+        (benchmarks::model(), MachineMode::Coupled),
+    ] {
+        let out = run_benchmark_observed(
+            &bench,
+            mode,
+            MachineConfig::baseline(),
+            &Observe::profiled(),
+        )
+        .unwrap();
+        let stalls = &out.stats.stalls;
+        assert!(stalls.consistent(), "{} {mode}", bench.name);
+        for (i, th) in stalls.threads.iter().enumerate() {
+            let by_cause: u64 = StallCause::ALL.iter().map(|&c| th.cause(c)).sum();
+            assert_eq!(
+                th.alive,
+                th.busy + by_cause,
+                "{} {mode} t{i}: alive != busy + stalls",
+                bench.name
+            );
+            assert!(
+                th.alive <= out.stats.cycles,
+                "{} {mode} t{i}: alive {} exceeds run length {}",
+                bench.name,
+                th.alive,
+                out.stats.cycles
+            );
+        }
+        assert!(
+            stalls.total_busy() > 0,
+            "{} {mode}: no busy cycles recorded",
+            bench.name
+        );
+    }
+}
+
+/// Attaching file sinks changes nothing about the run either, and the
+/// JSONL stream round-trips: one well-formed object per line, issue
+/// lines matching `ops_issued` exactly.
+#[test]
+fn jsonl_sink_round_trips_the_event_stream() {
+    let bench = benchmarks::matrix();
+    let path = scratch("events.jsonl");
+    let observe = Observe {
+        profile: false,
+        jsonl: Some(path.clone()),
+        chrome: None,
+    };
+    let plain = run_benchmark(&bench, MachineMode::Coupled, MachineConfig::baseline()).unwrap();
+    let out = run_benchmark_observed(
+        &bench,
+        MachineMode::Coupled,
+        MachineConfig::baseline(),
+        &observe,
+    )
+    .unwrap();
+    assert_eq!(plain.stats, out.stats, "sink attachment changed the run");
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let mut issues = 0u64;
+    for line in text.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "malformed JSONL line: {line}"
+        );
+        assert!(line.contains("\"kind\":"), "line without kind: {line}");
+        if line.contains("\"kind\":\"issue\"") {
+            issues += 1;
+        }
+    }
+    assert_eq!(
+        issues, out.stats.ops_issued,
+        "JSONL issue events must match ops_issued"
+    );
+}
+
+/// The Chrome trace is one JSON array, balanced and non-empty, with one
+/// complete ("ph":"X") event per issued operation plus metadata records.
+#[test]
+fn chrome_trace_is_well_formed_and_complete() {
+    let bench = benchmarks::matrix();
+    let path = scratch("trace.json");
+    let observe = Observe {
+        profile: false,
+        jsonl: None,
+        chrome: Some(path.clone()),
+    };
+    let out = run_benchmark_observed(
+        &bench,
+        MachineMode::Coupled,
+        MachineConfig::baseline(),
+        &observe,
+    )
+    .unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let trimmed = text.trim();
+    assert!(
+        trimmed.starts_with('[') && trimmed.ends_with(']'),
+        "not a JSON array"
+    );
+    let depth_ok = {
+        let mut depth = 0i64;
+        let mut min = i64::MAX;
+        for c in trimmed.chars() {
+            match c {
+                '[' | '{' => depth += 1,
+                ']' | '}' => depth -= 1,
+                _ => {}
+            }
+            min = min.min(depth);
+        }
+        depth == 0 && min >= 0
+    };
+    assert!(depth_ok, "unbalanced JSON brackets");
+    let complete = trimmed.matches("\"ph\":\"X\"").count() as u64;
+    assert_eq!(
+        complete, out.stats.ops_issued,
+        "one complete event per issued op"
+    );
+    assert!(
+        trimmed.contains("\"process_name\"") && trimmed.contains("\"thread_name\""),
+        "missing track metadata"
+    );
+}
+
+/// Both sinks at once through the fan-out, with profiling on top —
+/// the full observability stack in one run, still bit-identical stats.
+#[test]
+fn full_observability_stack_is_transparent() {
+    let bench = benchmarks::fft();
+    let jsonl = scratch("stack.jsonl");
+    let chrome = scratch("stack.json");
+    let observe = Observe {
+        profile: true,
+        jsonl: Some(jsonl.clone()),
+        chrome: Some(chrome.clone()),
+    };
+    let plain = run_benchmark(&bench, MachineMode::Coupled, MachineConfig::baseline()).unwrap();
+    let mut out = run_benchmark_observed(
+        &bench,
+        MachineMode::Coupled,
+        MachineConfig::baseline(),
+        &observe,
+    )
+    .unwrap();
+    let jsonl_len = std::fs::metadata(&jsonl).unwrap().len();
+    let chrome_len = std::fs::metadata(&chrome).unwrap().len();
+    std::fs::remove_file(&jsonl).ok();
+    std::fs::remove_file(&chrome).ok();
+    assert!(jsonl_len > 0 && chrome_len > 0);
+    assert!(out.stats.stalls.consistent());
+    out.stats.stalls = Default::default();
+    assert_eq!(plain.stats, out.stats);
+}
