@@ -37,5 +37,5 @@
 mod parse;
 mod print;
 
-pub use parse::{parse_program, AsmError};
-pub use print::{print_operation, print_program, print_segment};
+pub use parse::{parse_program, parse_program_with_debug, AsmError};
+pub use print::{print_operation, print_program, print_program_with_debug, print_segment};

@@ -128,6 +128,138 @@ pub fn parse_program(text: &str) -> Result<Program, AsmError> {
     Ok(p)
 }
 
+/// Parses the text format produced by [`crate::print_program_with_debug`],
+/// recovering both the program and its source-provenance side table from
+/// the `;@` annotations. Text without any annotations yields an empty
+/// [`pc_isa::DebugMap`] (the explicit "no provenance" state) — plain and
+/// annotated assembly both parse through this entry point.
+///
+/// # Errors
+/// [`AsmError`] with the offending line, including malformed `;@`
+/// directives (plain `;` comments stay free-form and are ignored).
+pub fn parse_program_with_debug(text: &str) -> Result<(Program, pc_isa::DebugMap), AsmError> {
+    let program = parse_program(text)?;
+    let mut debug = pc_isa::DebugMap::new();
+    let mut seg_debug: Option<pc_isa::SegmentDebug> = None;
+    let mut row: Option<u32> = None;
+    let mut slot: u16 = 0;
+    for (ln, raw) in text.lines().enumerate() {
+        let ln = ln + 1;
+        let trimmed = raw.trim();
+        if let Some(rest) = trimmed.strip_prefix(";@") {
+            parse_debug_directive(rest.trim(), &mut debug, ln)?;
+            continue;
+        }
+        let code = raw.split(';').next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+        if code.starts_with(".segment ") {
+            if let Some(sd) = seg_debug.take() {
+                debug.segments.push(sd);
+            }
+            seg_debug = Some(pc_isa::SegmentDebug::default());
+            row = None;
+        } else if code.starts_with(".row") {
+            row = Some(row.map_or(0, |r| r + 1));
+            slot = 0;
+        } else if code.contains(':') && !code.starts_with('.') {
+            // An operation line; a trailing `;@ id,id` names its spans.
+            if let Some(pos) = raw.find(";@") {
+                let ids: Vec<u32> = raw[pos + 2..]
+                    .trim()
+                    .split(',')
+                    .map(|t| t.trim().parse::<u32>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| AsmError {
+                        line: ln,
+                        msg: "bad ;@ span ids on operation".into(),
+                    })?;
+                let (sd, r) = match (seg_debug.as_mut(), row) {
+                    (Some(sd), Some(r)) => (sd, r),
+                    _ => return err(ln, ";@ span ids outside a row"),
+                };
+                sd.record(r, slot, ids);
+            }
+            slot += 1;
+        }
+    }
+    if let Some(sd) = seg_debug.take() {
+        debug.segments.push(sd);
+    }
+    // Programs printed without debug info have no tables and no segment
+    // markers worth keeping — collapse to the canonical empty map.
+    if debug.is_empty() && debug.spans.is_empty() && debug.loops.is_empty() {
+        debug = pc_isa::DebugMap::new();
+    }
+    if !debug.consistent() {
+        return err(0, ";@ tables are inconsistent (dangling span or loop id)");
+    }
+    Ok((program, debug))
+}
+
+fn parse_debug_directive(
+    rest: &str,
+    debug: &mut pc_isa::DebugMap,
+    ln: usize,
+) -> Result<(), AsmError> {
+    let parts: Vec<&str> = rest.split_whitespace().collect();
+    match parts.first().copied() {
+        Some("loop") if parts.len() == 4 => {
+            let id: usize = parts[1].parse().map_err(|_| AsmError {
+                line: ln,
+                msg: "bad ;@ loop id".into(),
+            })?;
+            if id != debug.loops.len() {
+                return err(
+                    ln,
+                    format!(";@ loop ids must be dense, expected {}", debug.loops.len()),
+                );
+            }
+            debug.loops.push(pc_isa::LoopInfo {
+                name: parts[2].to_string(),
+                line: parts[3].parse().map_err(|_| AsmError {
+                    line: ln,
+                    msg: "bad ;@ loop line".into(),
+                })?,
+            });
+            Ok(())
+        }
+        Some("span") if parts.len() == 5 => {
+            let id: usize = parts[1].parse().map_err(|_| AsmError {
+                line: ln,
+                msg: "bad ;@ span id".into(),
+            })?;
+            if id != debug.spans.len() {
+                return err(
+                    ln,
+                    format!(";@ span ids must be dense, expected {}", debug.spans.len()),
+                );
+            }
+            let num = |s: &str| -> Result<u32, AsmError> {
+                s.parse().map_err(|_| AsmError {
+                    line: ln,
+                    msg: "bad ;@ span field".into(),
+                })
+            };
+            let loop_id = if parts[4] == "-" {
+                None
+            } else {
+                Some(num(parts[4])?)
+            };
+            debug.spans.push(pc_isa::SpanInfo {
+                span: pc_isa::SrcSpan {
+                    line: num(parts[2])?,
+                    col: num(parts[3])?,
+                },
+                loop_id,
+            });
+            Ok(())
+        }
+        _ => err(ln, format!("bad ;@ directive '{rest}'")),
+    }
+}
+
 fn parse_reg(tok: &str, ln: usize) -> Result<RegId, AsmError> {
     let rest = tok.strip_prefix('c').ok_or(AsmError {
         line: ln,
@@ -467,6 +599,103 @@ mod tests {
         let text = print_program(&p);
         let back = parse_program(&text).unwrap();
         assert_eq!(p, back);
+    }
+
+    fn annotated_fixture() -> (Program, pc_isa::DebugMap) {
+        let mut p = Program::new();
+        let mut seg = CodeSegment::new("main");
+        let mut row = InstWord::new();
+        row.push(
+            FuId(0),
+            Operation::int(
+                IntOp::Add,
+                vec![Operand::Reg(r(0, 0)), Operand::ImmInt(1)],
+                r(0, 1),
+            ),
+        );
+        row.push(
+            FuId(12),
+            Operation::new(OpKind::Branch(BranchOp::Halt), vec![], vec![]),
+        );
+        seg.rows.push(row);
+        seg.regs_per_cluster = vec![2, 0];
+        p.add_segment(seg);
+        let mut child = CodeSegment::new("child");
+        child.rows.push(InstWord::new());
+        p.add_segment(child);
+
+        let mut debug = pc_isa::DebugMap::new();
+        debug.loops.push(pc_isa::LoopInfo {
+            name: "i".into(),
+            line: 3,
+        });
+        debug.spans.push(pc_isa::SpanInfo {
+            span: pc_isa::SrcSpan { line: 0, col: 0 },
+            loop_id: None,
+        });
+        debug.spans.push(pc_isa::SpanInfo {
+            span: pc_isa::SrcSpan { line: 3, col: 5 },
+            loop_id: Some(0),
+        });
+        let mut sd = pc_isa::SegmentDebug::default();
+        sd.record(0, 0, vec![1, 0]);
+        debug.segments.push(sd);
+        debug.segments.push(pc_isa::SegmentDebug::default());
+        (p, debug)
+    }
+
+    #[test]
+    fn debug_annotations_round_trip_byte_identically() {
+        let (p, debug) = annotated_fixture();
+        let text = crate::print_program_with_debug(&p, &debug);
+        let (p2, d2) = parse_program_with_debug(&text).unwrap();
+        assert_eq!(p, p2);
+        assert_eq!(debug, d2);
+        assert_eq!(text, crate::print_program_with_debug(&p2, &d2));
+        // The same text still parses as a plain program: `;@` stays a
+        // comment for consumers that don't care about provenance.
+        assert_eq!(parse_program(&text).unwrap(), p);
+    }
+
+    #[test]
+    fn debug_annotations_match_golden_text() {
+        let (p, debug) = annotated_fixture();
+        let golden = "\
+.memory 0
+.entry 0
+;@ loop 0 i 3
+;@ span 0 0 0 -
+;@ span 1 3 5 0
+.segment main
+.regs 2 0
+.row ; 0
+  u0: add c0.r0, #1 -> c0.r1 ;@ 0,1
+  u12: halt
+.segment child
+.regs
+.row ; 0
+";
+        assert_eq!(crate::print_program_with_debug(&p, &debug), golden);
+    }
+
+    #[test]
+    fn plain_text_parses_to_empty_debug_map() {
+        let (p, _) = annotated_fixture();
+        let text = crate::print_program(&p);
+        let (p2, d2) = parse_program_with_debug(&text).unwrap();
+        assert_eq!(p, p2);
+        assert!(d2.is_empty());
+        assert!(d2.spans.is_empty() && d2.loops.is_empty());
+    }
+
+    #[test]
+    fn malformed_debug_directives_are_rejected() {
+        assert!(parse_program_with_debug(";@ loop 1 i 3\n").is_err()); // non-dense id
+        assert!(parse_program_with_debug(";@ span 0 x 0 -\n").is_err());
+        assert!(parse_program_with_debug(";@ wibble\n").is_err());
+        // Span ids that never index the table are inconsistent.
+        let bad = ".segment s\n.row\n  u0: halt ;@ 7\n";
+        assert!(parse_program_with_debug(bad).is_err());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Program → text.
 
-use pc_isa::{BranchOp, CodeSegment, MemOp, OpKind, Operand, Operation, Program, RegId};
+use pc_isa::{BranchOp, CodeSegment, DebugMap, MemOp, OpKind, Operand, Operation, Program, RegId};
 use std::fmt::Write;
 
 fn reg(r: &RegId) -> String {
@@ -84,6 +84,10 @@ pub fn print_operation(op: &Operation) -> String {
 
 /// Renders one segment.
 pub fn print_segment(seg: &CodeSegment) -> String {
+    print_segment_debug(seg, None)
+}
+
+fn print_segment_debug(seg: &CodeSegment, debug: Option<&pc_isa::SegmentDebug>) -> String {
     let mut s = String::new();
     writeln!(s, ".segment {}", seg.name).unwrap();
     write!(s, ".regs").unwrap();
@@ -93,8 +97,13 @@ pub fn print_segment(seg: &CodeSegment) -> String {
     s.push('\n');
     for (i, row) in seg.rows.iter().enumerate() {
         writeln!(s, ".row ; {i}").unwrap();
-        for (fu, op) in row.slots() {
-            writeln!(s, "  u{}: {}", fu.0, print_operation(op)).unwrap();
+        for (slot, (fu, op)) in row.slots().iter().enumerate() {
+            write!(s, "  u{}: {}", fu.0, print_operation(op)).unwrap();
+            if let Some(ids) = debug.and_then(|d| d.slots.get(&(i as u32, slot as u16))) {
+                let csv: Vec<String> = ids.iter().map(u32::to_string).collect();
+                write!(s, " ;@ {}", csv.join(",")).unwrap();
+            }
+            s.push('\n');
         }
     }
     s
@@ -110,6 +119,36 @@ pub fn print_program(p: &Program) -> String {
     }
     for seg in &p.segments {
         s.push_str(&print_segment(seg));
+    }
+    s
+}
+
+/// Renders a program together with its source-provenance side table.
+/// The debug information rides in `;@` comment lines — `;@ loop` / `;@
+/// span` table entries in the header and per-operation `;@ id,id` span
+/// sets — so the output still parses as a plain program with
+/// [`crate::parse_program`], while [`crate::parse_program_with_debug`]
+/// recovers the full [`DebugMap`]. The round trip
+/// print → parse → print is byte-identical.
+pub fn print_program_with_debug(p: &Program, debug: &DebugMap) -> String {
+    let mut s = String::new();
+    writeln!(s, ".memory {}", p.memory_size).unwrap();
+    writeln!(s, ".entry {}", p.entry.0).unwrap();
+    for sym in p.symbols.values() {
+        writeln!(s, ".symbol {} {} {}", sym.name, sym.addr, sym.len).unwrap();
+    }
+    for (id, l) in debug.loops.iter().enumerate() {
+        writeln!(s, ";@ loop {id} {} {}", l.name, l.line).unwrap();
+    }
+    for (id, sp) in debug.spans.iter().enumerate() {
+        let loop_id = sp
+            .loop_id
+            .map(|l| l.to_string())
+            .unwrap_or_else(|| "-".to_string());
+        writeln!(s, ";@ span {id} {} {} {loop_id}", sp.span.line, sp.span.col).unwrap();
+    }
+    for (si, seg) in p.segments.iter().enumerate() {
+        s.push_str(&print_segment_debug(seg, debug.segments.get(si)));
     }
     s
 }

@@ -7,6 +7,63 @@
 
 use pc_isa::{LoadFlavor, StoreFlavor};
 
+/// Where a statement came from: 1-based line/column of its opening token
+/// plus the innermost enclosing source loop (an index into
+/// [`Module::loops`]). Synthetic statements (compiler-generated glue) use
+/// line 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SrcSpan {
+    /// 1-based source line (0 = synthetic).
+    pub line: u32,
+    /// 1-based source column (0 = synthetic).
+    pub col: u32,
+    /// Innermost enclosing loop, if any.
+    pub loop_id: Option<u32>,
+}
+
+impl SrcSpan {
+    /// A span for compiler-generated statements with no source position.
+    pub fn synthetic() -> Self {
+        SrcSpan::default()
+    }
+}
+
+/// One source loop recorded by the front end (the target of per-loop
+/// stall rollups).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopMeta {
+    /// Display name: the induction variable, or `while`.
+    pub name: String,
+    /// 1-based line of the loop header.
+    pub line: u32,
+}
+
+/// A statement together with its source span. All statement lists in the
+/// AST carry spans so provenance survives into lowering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// Source position and enclosing loop.
+    pub span: SrcSpan,
+    /// The statement itself.
+    pub node: Stmt,
+}
+
+impl Spanned {
+    /// Wraps a compiler-generated statement with a synthetic span.
+    pub fn synthetic(node: Stmt) -> Self {
+        Spanned {
+            span: SrcSpan::synthetic(),
+            node,
+        }
+    }
+}
+
+impl From<Stmt> for Spanned {
+    fn from(node: Stmt) -> Self {
+        Spanned::synthetic(node)
+    }
+}
+
 /// A scalar type. Arrays are global and element-typed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Ty {
@@ -102,7 +159,7 @@ pub enum Stmt {
         /// The bindings, evaluated in order.
         bindings: Vec<(String, Expr)>,
         /// Statements in the binding's scope.
-        body: Vec<Stmt>,
+        body: Vec<Spanned>,
     },
     /// Assignment to a variable.
     Set {
@@ -127,16 +184,16 @@ pub enum Stmt {
         /// Condition (integer; nonzero = true).
         cond: Expr,
         /// Then branch.
-        then_: Vec<Stmt>,
+        then_: Vec<Spanned>,
         /// Else branch (possibly empty).
-        else_: Vec<Stmt>,
+        else_: Vec<Spanned>,
     },
     /// While loop.
     While {
         /// Condition.
         cond: Expr,
         /// Body.
-        body: Vec<Stmt>,
+        body: Vec<Spanned>,
     },
     /// Counted loop: `(for (i start end) body...)`, iterating
     /// `start <= i < end`.
@@ -150,13 +207,13 @@ pub enum Stmt {
         /// Unrolling directive.
         unroll: Unroll,
         /// Body.
-        body: Vec<Stmt>,
+        body: Vec<Spanned>,
     },
     /// Spawn a thread running `body` concurrently. Free variables are
     /// captured by value.
     Fork {
         /// Thread body.
-        body: Vec<Stmt>,
+        body: Vec<Spanned>,
     },
     /// Spawn one thread per iteration (`start <= i < end`), `i` passed to
     /// each.
@@ -168,7 +225,7 @@ pub enum Stmt {
         /// Exclusive end.
         end: Expr,
         /// Thread body.
-        body: Vec<Stmt>,
+        body: Vec<Spanned>,
     },
     /// Statistics marker.
     Probe(u32),
@@ -194,14 +251,16 @@ pub struct Module {
     /// Global declarations in source order.
     pub globals: Vec<GlobalDecl>,
     /// The entry thread's body.
-    pub main: Vec<Stmt>,
+    pub main: Vec<Spanned>,
+    /// Source loops, indexed by [`SrcSpan::loop_id`].
+    pub loops: Vec<LoopMeta>,
 }
 
 /// Collects the free variables of a statement list (used to capture `fork`
 /// arguments by value). `bound` carries enclosing bindings.
-pub fn free_vars(stmts: &[Stmt], bound: &mut Vec<String>, out: &mut Vec<String>) {
+pub fn free_vars(stmts: &[Spanned], bound: &mut Vec<String>, out: &mut Vec<String>) {
     for s in stmts {
-        free_vars_stmt(s, bound, out);
+        free_vars_stmt(&s.node, bound, out);
     }
 }
 
@@ -293,8 +352,10 @@ mod tests {
                     Box::new(Expr::Var("x".into())),
                     Box::new(Expr::Var("w".into())),
                 ),
-            }],
-        }];
+            }
+            .into()],
+        }
+        .into()];
         let mut out = Vec::new();
         free_vars(&stmts, &mut Vec::new(), &mut out);
         assert_eq!(out, vec!["y".to_string(), "w".into(), "z".into()]);
@@ -307,8 +368,9 @@ mod tests {
             start: Expr::Int(0),
             end: Expr::Var("n".into()),
             unroll: Unroll::None,
-            body: vec![Stmt::Expr(Expr::Var("i".into()))],
-        }];
+            body: vec![Stmt::Expr(Expr::Var("i".into())).into()],
+        }
+        .into()];
         let mut out = Vec::new();
         free_vars(&stmts, &mut Vec::new(), &mut out);
         assert_eq!(out, vec!["n".to_string()]);
@@ -320,7 +382,8 @@ mod tests {
             sym: "a".into(),
             idx: Box::new(Expr::Var("k".into())),
             flavor: LoadFlavor::Plain,
-        })];
+        })
+        .into()];
         let mut out = Vec::new();
         free_vars(&stmts, &mut Vec::new(), &mut out);
         assert_eq!(out, vec!["k".to_string()]);

@@ -12,7 +12,9 @@
 //!
 //! The front end produces an [`crate::ast::Module`] with no remaining calls.
 
-use crate::ast::{BinOp, Expr, GlobalDecl, Module, Stmt, Ty, UnOp, Unroll};
+use crate::ast::{
+    BinOp, Expr, GlobalDecl, LoopMeta, Module, Spanned, SrcSpan, Stmt, Ty, UnOp, Unroll,
+};
 use crate::error::{CompileError, Result};
 use crate::sexpr::{self, Atom, Node, Sexpr};
 use pc_isa::{LoadFlavor, StoreFlavor};
@@ -90,11 +92,14 @@ pub fn expand(src: &str) -> Result<Module> {
         scopes: vec![HashMap::new()],
         gensym: 0,
         depth: 0,
+        loops: Vec::new(),
+        loop_stack: Vec::new(),
     };
     let body = cx.stmts(&main)?;
     Ok(Module {
         globals,
         main: body,
+        loops: cx.loops,
     })
 }
 
@@ -180,6 +185,10 @@ struct Ctx {
     scopes: Vec<HashMap<String, String>>,
     gensym: u64,
     depth: usize,
+    /// Source loops in discovery order (becomes [`Module::loops`]).
+    loops: Vec<LoopMeta>,
+    /// Innermost-last stack of enclosing loop ids.
+    loop_stack: Vec<u32>,
 }
 
 impl Ctx {
@@ -206,11 +215,39 @@ impl Ctx {
         None
     }
 
-    fn stmts(&mut self, body: &[Sexpr]) -> Result<Vec<Stmt>> {
+    fn stmts(&mut self, body: &[Sexpr]) -> Result<Vec<Spanned>> {
         body.iter().map(|s| self.stmt(s)).collect()
     }
 
-    fn stmt(&mut self, sx: &Sexpr) -> Result<Stmt> {
+    /// Records a source loop, returning its id.
+    fn enter_loop(&mut self, name: &str, line: u32) -> u32 {
+        let id = self.loops.len() as u32;
+        self.loops.push(LoopMeta {
+            name: name.to_string(),
+            line,
+        });
+        self.loop_stack.push(id);
+        id
+    }
+
+    fn exit_loop(&mut self) {
+        self.loop_stack.pop();
+    }
+
+    /// Builds one statement, stamping it with its source span and the
+    /// innermost enclosing loop at the *call site* (so statements inlined
+    /// from procedures attribute to the loop that executes them).
+    fn stmt(&mut self, sx: &Sexpr) -> Result<Spanned> {
+        let span = SrcSpan {
+            line: sx.line,
+            col: sx.col,
+            loop_id: self.loop_stack.last().copied(),
+        };
+        let node = self.stmt_node(sx)?;
+        Ok(Spanned { span, node })
+    }
+
+    fn stmt_node(&mut self, sx: &Sexpr) -> Result<Stmt> {
         let Some(head) = sx.head() else {
             // Bare expression statement (atom or non-symbol-headed list).
             return Ok(Stmt::Expr(self.expr(sx)?));
@@ -285,10 +322,11 @@ impl Ctx {
                 if xs.len() < 2 {
                     return Err(CompileError::at(sx.line, "(while cond body...)"));
                 }
-                Ok(Stmt::While {
-                    cond: self.expr(&xs[1])?,
-                    body: self.stmts(&xs[2..])?,
-                })
+                let cond = self.expr(&xs[1])?;
+                self.enter_loop("while", sx.line);
+                let body = self.stmts(&xs[2..]);
+                self.exit_loop();
+                Ok(Stmt::While { cond, body: body? })
             }
             "for" | "forall" => {
                 let spec = xs
@@ -304,7 +342,9 @@ impl Ctx {
                 let start = self.expr(&spec[1])?;
                 let end = self.expr(&spec[2])?;
                 self.scopes.push(HashMap::new());
-                let var = self.bind(spec[0].sym()?);
+                let src_var = spec[0].sym()?.to_string();
+                let var = self.bind(&src_var);
+                self.enter_loop(&src_var, sx.line);
                 // Optional :unroll directive.
                 let mut body_start = 2;
                 let mut unroll = Unroll::None;
@@ -312,6 +352,7 @@ impl Ctx {
                     if let Some(Sexpr {
                         node: Node::Atom(Atom::Key(k)),
                         line,
+                        ..
                     }) = xs.get(2)
                     {
                         if k != "unroll" {
@@ -339,8 +380,10 @@ impl Ctx {
                         body_start = 4;
                     }
                 }
-                let body = self.stmts(&xs[body_start..])?;
+                let body = self.stmts(&xs[body_start..]);
+                self.exit_loop();
                 self.scopes.pop();
+                let body = body?;
                 if head == "for" {
                     Ok(Stmt::For {
                         var,
@@ -550,7 +593,7 @@ mod tests {
     #[test]
     fn consts_fold_and_substitute() {
         let m = expand("(const n 9) (const n2 (* n n)) (defun main () (set x n2))").unwrap();
-        match &m.main[0] {
+        match &m.main[0].node {
             Stmt::Set { value, .. } => assert_eq!(*value, Expr::Int(81)),
             other => panic!("{other:?}"),
         }
@@ -564,13 +607,13 @@ mod tests {
         )
         .unwrap();
         // main: Let { x%1 = 5, [ Let { x%2 = x%1 } [set y ...], set z ] }
-        let Stmt::Let { bindings, body } = &m.main[0] else {
+        let Stmt::Let { bindings, body } = &m.main[0].node else {
             panic!()
         };
         assert!(bindings[0].0.starts_with("x%"));
         let Stmt::Let {
             bindings: inner, ..
-        } = &body[0]
+        } = &body[0].node
         else {
             panic!()
         };
@@ -588,7 +631,7 @@ mod tests {
     #[test]
     fn unroll_directive() {
         let m = expand("(defun main () (for (i 0 4) :unroll full (set x i)))").unwrap();
-        let Stmt::For { unroll, .. } = &m.main[0] else {
+        let Stmt::For { unroll, .. } = &m.main[0].node else {
             panic!()
         };
         assert_eq!(*unroll, Unroll::Full);
@@ -597,7 +640,7 @@ mod tests {
     #[test]
     fn nary_plus_folds_left() {
         let m = expand("(defun main () (set x (+ 1 2 3)))").unwrap();
-        let Stmt::Set { value, .. } = &m.main[0] else {
+        let Stmt::Set { value, .. } = &m.main[0].node else {
             panic!()
         };
         // ((1 + 2) + 3)
@@ -615,13 +658,13 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(
-            m.main[0],
+            m.main[0].node,
             Stmt::ASet {
                 flavor: StoreFlavor::Produce,
                 ..
             }
         ));
-        let Stmt::Set { value, .. } = &m.main[1] else {
+        let Stmt::Set { value, .. } = &m.main[1].node else {
             panic!()
         };
         assert!(matches!(
@@ -632,7 +675,7 @@ mod tests {
             }
         ));
         assert!(matches!(
-            m.main[2],
+            m.main[2].node,
             Stmt::ASet {
                 flavor: StoreFlavor::WaitFull,
                 ..
@@ -643,8 +686,8 @@ mod tests {
     #[test]
     fn forall_and_fork_parse() {
         let m = expand("(defun main () (forall (i 0 4) (set x i)) (fork (set y 1)))").unwrap();
-        assert!(matches!(m.main[0], Stmt::Forall { .. }));
-        assert!(matches!(m.main[1], Stmt::Fork { .. }));
+        assert!(matches!(m.main[0].node, Stmt::Forall { .. }));
+        assert!(matches!(m.main[1].node, Stmt::Fork { .. }));
     }
 
     #[test]
@@ -656,7 +699,7 @@ mod tests {
     #[test]
     fn unary_minus() {
         let m = expand("(defun main () (set x (- 5)))").unwrap();
-        let Stmt::Set { value, .. } = &m.main[0] else {
+        let Stmt::Set { value, .. } = &m.main[0].node else {
             panic!()
         };
         assert!(matches!(value, Expr::Un(UnOp::Neg, _)));
@@ -690,9 +733,9 @@ mod hardening_tests {
         )
         .unwrap();
         // y gets inner x, z gets outer x: the renamed names must differ.
-        fn find_sets(stmts: &[Stmt], out: &mut Vec<(String, Expr)>) {
+        fn find_sets(stmts: &[Spanned], out: &mut Vec<(String, Expr)>) {
             for s in stmts {
-                match s {
+                match &s.node {
                     Stmt::Set { name, value } => out.push((name.clone(), value.clone())),
                     Stmt::Let { body, .. } => find_sets(body, out),
                     _ => {}
@@ -735,13 +778,13 @@ mod hardening_tests {
         )
         .unwrap();
         // Fully expanded: a let (f) containing a let (g) containing a set.
-        let Stmt::Let { body, .. } = &m.main[0] else {
+        let Stmt::Let { body, .. } = &m.main[0].node else {
             panic!()
         };
-        let Stmt::Let { body: inner, .. } = &body[0] else {
+        let Stmt::Let { body: inner, .. } = &body[0].node else {
             panic!()
         };
-        assert!(matches!(inner[0], Stmt::Set { .. }));
+        assert!(matches!(inner[0].node, Stmt::Set { .. }));
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! Arithmetic delegates to [`pc_isa::op`] — the same semantics the
 //! simulator and the constant folder use.
 
-use crate::ast::{Expr, Module, Stmt, Ty, UnOp as AUn};
+use crate::ast::{self, Expr, Module, Stmt, Ty, UnOp as AUn};
 use crate::ir::{BinOp, UnOp};
 use crate::lower; // for the operator mapping only
 use pc_isa::{op, IsaError, LoadFlavor, StoreFlavor, Value};
@@ -154,11 +154,11 @@ impl Interp {
 
     fn stmts(
         &mut self,
-        body: &[Stmt],
+        body: &[ast::Spanned],
         env: &mut HashMap<String, Value>,
     ) -> Result<(), InterpError> {
         for s in body {
-            self.stmt(s, env)?;
+            self.stmt(&s.node, env)?;
         }
         Ok(())
     }

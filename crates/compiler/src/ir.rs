@@ -316,6 +316,19 @@ impl InstKind {
     }
 }
 
+/// Provenance: the sorted, deduplicated set of span ids (indices into
+/// [`IrProgram::spans`]) an instruction realizes. Starts as a singleton
+/// at lowering; optimization passes that fuse instructions (CSE, copy
+/// coalescing) merge the sets.
+pub type Prov = Vec<u32>;
+
+/// Merges `other` into `into`, keeping it sorted and deduplicated.
+pub fn prov_merge(into: &mut Prov, other: &[u32]) {
+    into.extend_from_slice(other);
+    into.sort_unstable();
+    into.dedup();
+}
+
 /// One IR instruction.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Inst {
@@ -323,6 +336,24 @@ pub struct Inst {
     pub kind: InstKind,
     /// Destination register, if the operation produces a value.
     pub dst: Option<VReg>,
+    /// Source provenance (empty only for synthetic glue with no span).
+    pub prov: Prov,
+}
+
+impl Inst {
+    /// An instruction with no provenance (tests and synthetic glue).
+    pub fn new(kind: InstKind, dst: Option<VReg>) -> Self {
+        Inst {
+            kind,
+            dst,
+            prov: Prov::new(),
+        }
+    }
+
+    /// An instruction carrying provenance.
+    pub fn with_prov(kind: InstKind, dst: Option<VReg>, prov: Prov) -> Self {
+        Inst { kind, dst, prov }
+    }
 }
 
 /// Basic-block terminator.
@@ -512,6 +543,10 @@ pub struct IrProgram {
     pub symbols: Vec<(String, u64, u64, Ty)>,
     /// One past the last statically allocated address.
     pub memory_size: u64,
+    /// Interned source spans, indexed by the ids in [`Inst::prov`].
+    pub spans: Vec<pc_isa::SpanInfo>,
+    /// Interned source loops, indexed by [`pc_isa::SpanInfo::loop_id`].
+    pub loops: Vec<pc_isa::LoopInfo>,
 }
 
 #[cfg(test)]
@@ -534,47 +569,47 @@ mod tests {
         let a = f.fresh(Ty::Int); // defined b0, used b1 -> variable
         let t = f.fresh(Ty::Int); // defined and used in b1 -> temp
         let m = f.fresh(Ty::Int); // defined twice in b0 -> variable
-        f.blocks[0].insts.push(Inst {
-            kind: InstKind::Bin {
+        f.blocks[0].insts.push(Inst::new(
+            InstKind::Bin {
                 op: BinOp::Add,
                 a: Val::CI(1),
                 b: Val::CI(2),
             },
-            dst: Some(a),
-        });
-        f.blocks[0].insts.push(Inst {
-            kind: InstKind::Un {
+            Some(a),
+        ));
+        f.blocks[0].insts.push(Inst::new(
+            InstKind::Un {
                 op: UnOp::Mov,
                 a: Val::CI(0),
             },
-            dst: Some(m),
-        });
-        f.blocks[0].insts.push(Inst {
-            kind: InstKind::Un {
+            Some(m),
+        ));
+        f.blocks[0].insts.push(Inst::new(
+            InstKind::Un {
                 op: UnOp::Mov,
                 a: Val::CI(1),
             },
-            dst: Some(m),
-        });
+            Some(m),
+        ));
         f.blocks[0].term = Term::Jump(1);
         f.blocks.push(Block::new());
-        f.blocks[1].insts.push(Inst {
-            kind: InstKind::Bin {
+        f.blocks[1].insts.push(Inst::new(
+            InstKind::Bin {
                 op: BinOp::Add,
                 a: Val::R(a),
                 b: Val::CI(1),
             },
-            dst: Some(t),
-        });
-        f.blocks[1].insts.push(Inst {
-            kind: InstKind::Store {
+            Some(t),
+        ));
+        f.blocks[1].insts.push(Inst::new(
+            InstKind::Store {
                 flavor: StoreFlavor::Plain,
                 base: Val::CI(0),
                 off: Val::CI(0),
                 val: Val::R(t),
             },
-            dst: None,
-        });
+            None,
+        ));
         let vars = f.variables();
         assert!(vars.contains(&a));
         assert!(vars.contains(&m));
@@ -613,14 +648,14 @@ mod tests {
     fn display_renders() {
         let mut f = Func::new("demo", 1);
         let a = f.fresh(Ty::Int);
-        f.blocks[0].insts.push(Inst {
-            kind: InstKind::Bin {
+        f.blocks[0].insts.push(Inst::new(
+            InstKind::Bin {
                 op: BinOp::Add,
                 a: Val::CI(1),
                 b: Val::CI(2),
             },
-            dst: Some(a),
-        });
+            Some(a),
+        ));
         let s = f.to_string();
         assert!(s.contains("func demo"));
         assert!(s.contains("v0 = Add 1, 2"));

@@ -69,6 +69,9 @@ pub struct CompileOutput {
     pub program: Program,
     /// Per-segment information.
     pub info: Vec<SegmentInfo>,
+    /// Source-provenance side table: per `(segment, row, slot)` span ids
+    /// plus the interned span/loop tables (see [`pc_isa::DebugMap`]).
+    pub debug: pc_isa::DebugMap,
 }
 
 impl CompileOutput {
@@ -150,6 +153,11 @@ pub fn compile_with_options(
 
     let mut program = Program::new();
     let mut info = Vec::new();
+    let mut debug = pc_isa::DebugMap {
+        spans: ir.spans.clone(),
+        loops: ir.loops.clone(),
+        segments: Vec::new(),
+    };
     for (idx, s) in scheduled.into_iter().enumerate() {
         let s = s.expect("scheduled above");
         info.push(SegmentInfo {
@@ -159,8 +167,10 @@ pub fn compile_with_options(
             regs_per_cluster: s.segment.regs_per_cluster.clone(),
             variant: ir.funcs[idx].variant,
         });
+        debug.segments.push(s.debug);
         program.add_segment(s.segment);
     }
+    debug_assert!(debug.consistent());
     program.entry = SegmentId(0);
     for (name, _addr, len, _ty) in &ir.symbols {
         program.alloc_symbol(name.clone(), *len);
@@ -169,7 +179,11 @@ pub fn compile_with_options(
 
     pc_isa::validate_program(&program, config)
         .map_err(|e| CompileError::new(format!("internal: emitted invalid code: {e}")))?;
-    Ok(CompileOutput { program, info })
+    Ok(CompileOutput {
+        program,
+        info,
+        debug,
+    })
 }
 
 #[cfg(test)]

@@ -2,10 +2,11 @@
 //! expansion, and thread extraction (`fork` / `forall` bodies become
 //! separate [`Func`]s).
 
-use crate::ast::{self, Expr, Module, Stmt, Ty, Unroll};
+use crate::ast::{self, Expr, Module, Spanned, Stmt, Ty, Unroll};
 use crate::error::{CompileError, Result};
-use crate::ir::{BinOp, Block, Func, Inst, InstKind, IrProgram, Term, UnOp, VReg, Val};
+use crate::ir::{BinOp, Block, Func, Inst, InstKind, IrProgram, Prov, Term, UnOp, VReg, Val};
 use std::collections::HashMap;
+use std::mem;
 
 /// Lowering options.
 #[derive(Debug, Clone, Copy)]
@@ -40,7 +41,13 @@ pub fn lower(module: &Module, opts: LowerOptions) -> Result<IrProgram> {
         funcs: Vec::new(),
         opts,
         variant_counter: 0,
+        spans: Vec::new(),
+        span_ids: HashMap::new(),
+        cur_prov: Prov::new(),
     };
+    // Seed with the interned synthetic span so even glue emitted outside
+    // any statement carries non-empty provenance.
+    lx.cur_prov = lx.prov_for(&ast::SrcSpan::synthetic());
     let main = Func::new("main", 0);
     let idx = lx.push_func(main);
     lx.build_body(idx, &module.main, &HashMap::new())?;
@@ -48,6 +55,15 @@ pub fn lower(module: &Module, opts: LowerOptions) -> Result<IrProgram> {
         funcs: lx.funcs,
         symbols,
         memory_size: addr,
+        spans: lx.spans,
+        loops: module
+            .loops
+            .iter()
+            .map(|l| pc_isa::LoopInfo {
+                name: l.name.clone(),
+                line: l.line,
+            })
+            .collect(),
     })
 }
 
@@ -56,6 +72,13 @@ struct Lowerer {
     funcs: Vec<Func>,
     opts: LowerOptions,
     variant_counter: usize,
+    /// Interned source spans (becomes [`IrProgram::spans`]).
+    spans: Vec<pc_isa::SpanInfo>,
+    /// Intern map: `(line, col, loop)` → span id.
+    span_ids: HashMap<(u32, u32, Option<u32>), u32>,
+    /// Provenance stamped on every instruction [`Lowerer::emit`] creates:
+    /// the span of the statement currently being lowered.
+    cur_prov: Prov,
 }
 
 /// Builder state for one function.
@@ -80,7 +103,7 @@ impl Lowerer {
     fn build_body(
         &mut self,
         idx: usize,
-        body: &[Stmt],
+        body: &[Spanned],
         env: &HashMap<String, (VReg, Ty)>,
     ) -> Result<()> {
         let mut cur = Cursor {
@@ -94,9 +117,33 @@ impl Lowerer {
     }
 
     fn emit(&mut self, cur: &Cursor, kind: InstKind, dst: Option<VReg>) {
+        let prov = self.cur_prov.clone();
         self.funcs[cur.func_idx].blocks[cur.block]
             .insts
-            .push(Inst { kind, dst });
+            .push(Inst::with_prov(kind, dst, prov));
+    }
+
+    /// Interns a statement span, returning its singleton provenance.
+    /// Synthetic spans (line 0) intern too, so every lowered instruction
+    /// carries a non-empty provenance set.
+    fn prov_for(&mut self, span: &ast::SrcSpan) -> Prov {
+        let key = (span.line, span.col, span.loop_id);
+        let id = match self.span_ids.get(&key) {
+            Some(&id) => id,
+            None => {
+                let id = self.spans.len() as u32;
+                self.spans.push(pc_isa::SpanInfo {
+                    span: pc_isa::SrcSpan {
+                        line: span.line,
+                        col: span.col,
+                    },
+                    loop_id: span.loop_id,
+                });
+                self.span_ids.insert(key, id);
+                id
+            }
+        };
+        vec![id]
     }
 
     fn new_block(&mut self, cur: &Cursor) -> usize {
@@ -113,11 +160,22 @@ impl Lowerer {
         self.funcs[cur.func_idx].fresh(ty)
     }
 
-    fn stmts(&mut self, cur: &mut Cursor, body: &[Stmt]) -> Result<()> {
+    fn stmts(&mut self, cur: &mut Cursor, body: &[Spanned]) -> Result<()> {
         for s in body {
-            self.stmt(cur, s)?;
+            self.stmt_spanned(cur, s)?;
         }
         Ok(())
+    }
+
+    /// Lowers one statement under its own provenance, restoring the
+    /// caller's afterwards (so e.g. a loop's latch increment, emitted
+    /// after the body, still attributes to the loop statement).
+    fn stmt_spanned(&mut self, cur: &mut Cursor, s: &Spanned) -> Result<()> {
+        let prov = self.prov_for(&s.span);
+        let saved = mem::replace(&mut self.cur_prov, prov);
+        let r = self.stmt(cur, &s.node);
+        self.cur_prov = saved;
+        r
     }
 
     fn stmt(&mut self, cur: &mut Cursor, s: &Stmt) -> Result<()> {
@@ -312,7 +370,7 @@ impl Lowerer {
         start: &Expr,
         end: &Expr,
         unroll: Unroll,
-        body: &[Stmt],
+        body: &[Spanned],
     ) -> Result<()> {
         if unroll == Unroll::Full {
             let s = const_int(start).ok_or_else(|| {
@@ -489,7 +547,7 @@ impl Lowerer {
     fn capture_args(
         &mut self,
         cur: &Cursor,
-        body: &[Stmt],
+        body: &[Spanned],
         loop_var: Option<(&str, Val)>,
     ) -> Result<Vec<Val>> {
         let names = self.captures(body, loop_var.map(|(n, _)| n))?;
@@ -508,7 +566,7 @@ impl Lowerer {
 
     /// Free variables of a thread body that refer to enclosing locals
     /// (globals and the loop variable excluded).
-    fn captures(&self, body: &[Stmt], loop_var: Option<&str>) -> Result<Vec<String>> {
+    fn captures(&self, body: &[Spanned], loop_var: Option<&str>) -> Result<Vec<String>> {
         let mut out = Vec::new();
         let mut bound: Vec<String> = loop_var.iter().map(|s| s.to_string()).collect();
         ast::free_vars(body, &mut bound, &mut out);
@@ -527,7 +585,7 @@ impl Lowerer {
         label: &str,
         variant: usize,
         loop_var: Option<&str>,
-        body: &[Stmt],
+        body: &[Spanned],
     ) -> Result<usize> {
         let names = self.captures(body, loop_var)?;
         let mut child = Func::new(format!("{label}@{}#{variant}", self.funcs.len()), variant);
@@ -556,7 +614,7 @@ impl Lowerer {
         var: &str,
         start: &Expr,
         end: &Expr,
-        body: &[Stmt],
+        body: &[Spanned],
     ) -> Result<()> {
         let k = self.opts.forall_variants.max(1);
         // One function variant per cluster ordering.

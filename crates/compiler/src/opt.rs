@@ -100,6 +100,8 @@ pub fn coalesce_copies(f: &mut Func) -> bool {
                         let var_quiet = last_access.get(&var).map(|&a| a <= di).unwrap_or(true);
                         if producer_writes_reg && var_quiet && !delete[di] {
                             b.insts[di].dst = Some(var);
+                            let mov_prov = b.insts[idx].prov.clone();
+                            crate::ir::prov_merge(&mut b.insts[di].prov, &mov_prov);
                             delete[idx] = true;
                             changed = true;
                             last_def.remove(&tmp);
@@ -316,7 +318,7 @@ pub fn algebraic(f: &mut Func) -> bool {
 
 /// A value-numbering table entry: canonical key plus the defining register
 /// and its version at record time.
-type CseEntry = ((String, Vec<KeyVal>), (VReg, u32));
+type CseEntry = ((String, Vec<KeyVal>), (VReg, u32, usize));
 
 /// Canonical key for value numbering. Registers are paired with a version
 /// so redefinition invalidates stale entries.
@@ -342,10 +344,11 @@ pub fn cse(f: &mut Func) -> bool {
     let defs = def_counts(f);
     let mut changed = false;
     for b in &mut f.blocks {
-        // (op, operands) -> (dst, dst version at record time)
+        // (op, operands) -> (dst, dst version at record time, def index)
         let mut exprs: Vec<CseEntry> = Vec::new();
         let mut versions: HashMap<VReg, u32> = HashMap::new();
-        for i in &mut b.insts {
+        for idx in 0..b.insts.len() {
+            let i = &b.insts[idx];
             let key = match &i.kind {
                 InstKind::Bin { op, a, b } => {
                     let (mut ka, mut kb) = (key_val(*a, &versions), key_val(*b, &versions));
@@ -376,18 +379,24 @@ pub fn cse(f: &mut Func) -> bool {
                 // Replace only single-def temporaries: rebinding a mutable
                 // variable must keep its own definition.
                 if defs[dst.0 as usize] == 1 {
-                    if let Some((_, (prev, pv))) = exprs.iter().find(|(k, _)| k == key) {
+                    if let Some((_, (prev, pv, di))) = exprs.iter().find(|(k, _)| k == key) {
                         if versions.get(prev).copied().unwrap_or(0) == *pv {
-                            i.kind = InstKind::Un {
+                            let (prev, di) = (*prev, *di);
+                            b.insts[idx].kind = InstKind::Un {
                                 op: UnOp::Mov,
-                                a: Val::R(*prev),
+                                a: Val::R(prev),
                             };
+                            // The surviving definition now realizes the
+                            // replaced computation's source spans too.
+                            let dead_prov = b.insts[idx].prov.clone();
+                            crate::ir::prov_merge(&mut b.insts[di].prov, &dead_prov);
                             changed = true;
                             replaced = true;
                         }
                     }
                 }
             }
+            let i = &b.insts[idx];
             // Stores and synchronizing references invalidate load entries.
             if matches!(i.kind, InstKind::Store { .. }) || i.kind.is_sync() {
                 let (base, off) = match &i.kind {
@@ -416,7 +425,7 @@ pub fn cse(f: &mut Func) -> bool {
                     if let Some(key) = key {
                         let v = versions[&d];
                         exprs.retain(|(k, _)| k != &key);
-                        exprs.push((key, (d, v)));
+                        exprs.push((key, (d, v, idx)));
                     }
                 }
             }

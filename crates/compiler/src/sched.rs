@@ -20,10 +20,10 @@
 //! the paper observes.
 
 use crate::error::{CompileError, Result};
-use crate::ir::{Func, Inst, InstKind, IsaOp, Term, VReg, Val};
+use crate::ir::{Func, Inst, InstKind, IsaOp, Prov, Term, VReg, Val};
 use pc_isa::{
     BranchOp, ClusterId, CodeSegment, FuId, InstWord, LoadFlavor, MachineConfig, OpKind, Operand,
-    Operation, RegId, StoreFlavor, UnitClass,
+    Operation, RegId, SegmentDebug, StoreFlavor, UnitClass,
 };
 use std::collections::HashMap;
 
@@ -45,6 +45,9 @@ pub struct Scheduled {
     /// Concrete registers receiving this function's parameters (used as
     /// `fork` argument destinations by callers).
     pub param_regs: Vec<RegId>,
+    /// Per-slot provenance of the emitted rows (span ids index the
+    /// program-wide span table built during lowering).
+    pub debug: SegmentDebug,
 }
 
 /// One placement-ready operation.
@@ -58,6 +61,9 @@ struct SOp {
     writes: Vec<(VReg, ClusterId)>,
     /// `(is_store, is_sync, const_addr)` for memory ordering.
     mem: Option<(bool, bool, Option<i64>)>,
+    /// Source spans this operation realizes (copies inherit them from the
+    /// operation that made the routing necessary).
+    prov: Prov,
 }
 
 #[derive(Debug, Clone)]
@@ -153,10 +159,12 @@ pub fn schedule_func(
 
     // Per-block scheduling.
     let mut block_rows: Vec<Vec<InstWord>> = Vec::with_capacity(f.blocks.len());
+    let mut block_provs: Vec<Vec<(u32, FuId, Prov)>> = Vec::with_capacity(f.blocks.len());
     for (bi, block) in f.blocks.iter().enumerate() {
         let next = bi + 1;
-        let rows = s.schedule_block(block, next)?;
+        let (rows, provs) = s.schedule_block(block, next)?;
         block_rows.push(rows);
+        block_provs.push(provs);
     }
 
     // Absolute row offsets; empty blocks resolve to the following row.
@@ -190,12 +198,31 @@ pub fn schedule_func(
         }
     }
 
+    // Map block-relative (row, unit) placements to (absolute row, slot
+    // index) provenance records. Slot order within a row is preserved by
+    // the branch-fixup rebuild above, so the unit's position in the final
+    // row's slot list is the index the simulator reports.
+    let mut debug = SegmentDebug::default();
+    for (bi, provs) in block_provs.into_iter().enumerate() {
+        for (row, fu, prov) in provs {
+            let abs = starts[bi] + row;
+            if let Some(slot) = all_rows[abs as usize]
+                .slots()
+                .iter()
+                .position(|(f_, _)| *f_ == fu)
+            {
+                debug.record(abs, slot as u16, prov);
+            }
+        }
+    }
+
     let mut segment = CodeSegment::new(f.name.clone());
     segment.rows = all_rows;
     segment.regs_per_cluster = s.counters;
     Ok(Scheduled {
         segment,
         param_regs,
+        debug,
     })
 }
 
@@ -236,11 +263,14 @@ impl Scheduler<'_> {
 
     /// Builds the placement-ready op list for a block (partitioning plus
     /// communication insertion), then list-schedules it into rows.
+    /// Returns the rows plus, per placed op with provenance, its
+    /// `(row, unit, span ids)` for the debug map.
+    #[allow(clippy::type_complexity)]
     fn schedule_block(
         &mut self,
         block: &crate::ir::Block,
         next_block: usize,
-    ) -> Result<Vec<InstWord>> {
+    ) -> Result<(Vec<InstWord>, Vec<(u32, FuId, Prov)>)> {
         let max_dsts = self.config.max_dsts;
         let mut sops: Vec<SOp> = Vec::new();
         // Value availability within this block: clusters holding each value.
@@ -273,6 +303,7 @@ impl Scheduler<'_> {
                     &mut sops,
                     &mut avail,
                     &mut def_sop,
+                    &[],
                 )?;
                 Some(r)
             }
@@ -379,6 +410,8 @@ impl Scheduler<'_> {
         let mut unplaced: Vec<usize> = (0..n).collect();
         let mut row: u32 = 0;
         let mut row_words: Vec<InstWord> = Vec::new();
+        // Block-relative (row, unit) → provenance of the op placed there.
+        let mut prov_at: Vec<(u32, FuId, Prov)> = Vec::new();
         while !unplaced.is_empty() {
             // Candidates ready at this row.
             let mut ready: Vec<usize> = unplaced
@@ -406,6 +439,9 @@ impl Scheduler<'_> {
                 used_units.push(unit.id);
                 let op = self.materialize(&sops[i])?;
                 row_words[row as usize].push(unit.id, op);
+                if !sops[i].prov.is_empty() {
+                    prov_at.push((row, unit.id, sops[i].prov.clone()));
+                }
                 placed[i] = Some(row);
                 placed_any = true;
                 for &(t, w) in &succs[i] {
@@ -556,7 +592,7 @@ impl Scheduler<'_> {
                 }
             }
         }
-        Ok(row_words)
+        Ok((row_words, prov_at))
     }
 
     /// Partitions one IR instruction onto a cluster and appends its SOp,
@@ -676,7 +712,7 @@ impl Scheduler<'_> {
 
         // Route operands to the chosen cluster.
         for r in &reads {
-            self.ensure_local(*r, cluster, max_dsts, sops, avail, def_sop)?;
+            self.ensure_local(*r, cluster, max_dsts, sops, avail, def_sop, &inst.prov)?;
         }
 
         // Destinations: primary in `cluster`, variables also write home.
@@ -726,6 +762,7 @@ impl Scheduler<'_> {
             reads,
             writes: writes.clone(),
             mem,
+            prov: inst.prov.clone(),
         });
         if let Some(d) = inst.dst {
             avail.insert(d, writes.iter().map(|&(_, c)| c).collect());
@@ -734,7 +771,7 @@ impl Scheduler<'_> {
             if self.vars.contains(&d) {
                 let home = self.homes[&d];
                 if !avail[&d].contains(&home) {
-                    self.insert_copy(d, cluster, home, sops, avail)?;
+                    self.insert_copy(d, cluster, home, sops, avail, &inst.prov)?;
                 }
             }
         }
@@ -744,6 +781,7 @@ impl Scheduler<'_> {
     /// Guarantees value `r` is readable in cluster `c` within this block:
     /// already available, retroactive extra destination on its defining
     /// operation, or an explicit copy.
+    #[allow(clippy::too_many_arguments)] // threads the block-local scheduling state
     fn ensure_local(
         &mut self,
         r: VReg,
@@ -752,6 +790,7 @@ impl Scheduler<'_> {
         sops: &mut Vec<SOp>,
         avail: &mut HashMap<VReg, Vec<ClusterId>>,
         def_sop: &mut HashMap<VReg, usize>,
+        for_prov: &[u32],
     ) -> Result<()> {
         let entry = avail
             .entry(r)
@@ -793,6 +832,13 @@ impl Scheduler<'_> {
             )));
         };
         let latency = self.unit_latency(from, class);
+        // A routing copy attributes to the value's definition when it is in
+        // this block, otherwise to the operation that needed the value.
+        let prov = def_sop
+            .get(&r)
+            .map(|&di| sops[di].prov.clone())
+            .filter(|p| !p.is_empty())
+            .unwrap_or_else(|| for_prov.to_vec());
         sops.push(SOp {
             kind: SKind::Alu {
                 op,
@@ -804,6 +850,7 @@ impl Scheduler<'_> {
             reads: vec![r],
             writes: vec![(r, c)],
             mem: None,
+            prov,
         });
         avail.get_mut(&r).expect("entry created above").push(c);
         Ok(())
@@ -816,6 +863,7 @@ impl Scheduler<'_> {
         to: ClusterId,
         sops: &mut Vec<SOp>,
         avail: &mut HashMap<VReg, Vec<ClusterId>>,
+        prov: &[u32],
     ) -> Result<()> {
         let (src, op, class) = if self.cluster_has(from, UnitClass::Integer) {
             (from, IsaOp::I(pc_isa::IntOp::Mov), UnitClass::Integer)
@@ -839,6 +887,7 @@ impl Scheduler<'_> {
             reads: vec![r],
             writes: vec![(r, to)],
             mem: None,
+            prov: prov.to_vec(),
         });
         avail.entry(r).or_default().push(to);
         Ok(())
@@ -971,6 +1020,7 @@ mod tests {
                     b: Val::CI(2),
                 },
                 dst: Some(t0),
+                prov: vec![],
             },
             Inst {
                 kind: InstKind::Bin {
@@ -979,6 +1029,7 @@ mod tests {
                     b: Val::CI(3),
                 },
                 dst: Some(t1),
+                prov: vec![],
             },
             Inst {
                 kind: InstKind::Store {
@@ -988,6 +1039,7 @@ mod tests {
                     val: Val::R(t1),
                 },
                 dst: None,
+                prov: vec![],
             },
         ];
         f
@@ -1062,6 +1114,7 @@ mod tests {
                 b: Val::CI(2),
             },
             dst: Some(c),
+            prov: vec![],
         }];
         f.blocks[0].term = Term::Br {
             cond: Val::R(c),
@@ -1096,6 +1149,7 @@ mod tests {
                 b: Val::CI(2),
             },
             dst: Some(c),
+            prov: vec![],
         }];
         f.blocks[0].term = Term::Br {
             cond: Val::R(c),
@@ -1134,6 +1188,7 @@ mod tests {
                 b: Val::CI(2),
             },
             dst: Some(c),
+            prov: vec![],
         }];
         f.blocks[1].term = Term::Br {
             cond: Val::R(c),
@@ -1182,6 +1237,7 @@ mod tests {
                     val: Val::CF(1.0),
                 },
                 dst: None,
+                prov: vec![],
             },
             Inst {
                 kind: InstKind::Store {
@@ -1191,6 +1247,7 @@ mod tests {
                     val: Val::CI(1),
                 },
                 dst: None,
+                prov: vec![],
             },
         ];
         let s = schedule_func(&f, &config, ScheduleMode::Unrestricted, &no_children()).unwrap();
@@ -1224,6 +1281,7 @@ mod tests {
                     off: Val::CI(0),
                 },
                 dst: Some(a),
+                prov: vec![],
             },
             Inst {
                 kind: InstKind::Load {
@@ -1232,6 +1290,7 @@ mod tests {
                     off: Val::CI(0),
                 },
                 dst: Some(b),
+                prov: vec![],
             },
             Inst {
                 kind: InstKind::Bin {
@@ -1240,6 +1299,7 @@ mod tests {
                     b: Val::R(b),
                 },
                 dst: Some(f.fresh(Ty::Float)),
+                prov: vec![],
             },
         ];
         let s = schedule_func(&f, &config, ScheduleMode::Unrestricted, &no_children()).unwrap();
@@ -1272,6 +1332,7 @@ mod tests {
                 b: Val::CF(2.0),
             },
             dst: Some(f.fresh(Ty::Float)),
+            prov: vec![],
         }];
         let err =
             schedule_func(&f, &config, ScheduleMode::Unrestricted, &no_children()).unwrap_err();
@@ -1294,6 +1355,7 @@ mod tests {
                     b: Val::CI(1),
                 },
                 dst: Some(r),
+                prov: vec![],
             });
             regs.push(r);
         }
@@ -1308,6 +1370,7 @@ mod tests {
                     b: Val::R(r),
                 },
                 dst: Some(d),
+                prov: vec![],
             });
             prev = d;
         }

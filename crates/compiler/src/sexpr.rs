@@ -21,13 +21,23 @@ pub enum Atom {
     Key(String),
 }
 
-/// An S-expression with its source line.
-#[derive(Debug, Clone, PartialEq)]
+/// An S-expression with its source position.
+#[derive(Debug, Clone)]
 pub struct Sexpr {
     /// 1-based line where the expression starts.
     pub line: u32,
+    /// 1-based column where the expression starts.
+    pub col: u32,
     /// The node.
     pub node: Node,
+}
+
+/// Structural equality: positions are metadata and do not participate, so
+/// a re-parse of rendered output compares equal to the original.
+impl PartialEq for Sexpr {
+    fn eq(&self, other: &Self) -> bool {
+        self.node == other.node
+    }
 }
 
 /// S-expression node.
@@ -104,6 +114,7 @@ pub fn parse(src: &str) -> Result<Vec<Sexpr>> {
         chars: src.chars().collect(),
         pos: 0,
         line: 1,
+        col: 1,
     };
     let mut out = Vec::new();
     loop {
@@ -120,6 +131,7 @@ struct Parser {
     chars: Vec<char>,
     pos: usize,
     line: u32,
+    col: u32,
 }
 
 impl Parser {
@@ -136,6 +148,9 @@ impl Parser {
         self.pos += 1;
         if c == '\n' {
             self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
         }
         Some(c)
     }
@@ -158,7 +173,7 @@ impl Parser {
 
     fn expr(&mut self) -> Result<Sexpr> {
         self.skip_ws();
-        let line = self.line;
+        let (line, col) = (self.line, self.col);
         match self.peek() {
             None => Err(CompileError::at(line, "unexpected end of input")),
             Some('(') => {
@@ -179,6 +194,7 @@ impl Parser {
                 }
                 Ok(Sexpr {
                     line,
+                    col,
                     node: Node::List(xs),
                 })
             }
@@ -188,7 +204,7 @@ impl Parser {
     }
 
     fn atom(&mut self) -> Result<Sexpr> {
-        let line = self.line;
+        let (line, col) = (self.line, self.col);
         let mut s = String::new();
         while let Some(c) = self.peek() {
             if c.is_whitespace() || c == '(' || c == ')' || c == ';' {
@@ -214,7 +230,7 @@ impl Parser {
         } else {
             Node::Atom(Atom::Sym(s))
         };
-        Ok(Sexpr { line, node })
+        Ok(Sexpr { line, col, node })
     }
 }
 
@@ -266,6 +282,15 @@ mod tests {
         assert_eq!(v[0].line, 1);
         assert_eq!(v[1].line, 2);
         assert_eq!(v[1].list().unwrap()[1].line, 3);
+    }
+
+    #[test]
+    fn tracks_columns() {
+        let v = parse("(a)  (b c)\n   (d)").unwrap();
+        assert_eq!((v[0].line, v[0].col), (1, 1));
+        assert_eq!((v[1].line, v[1].col), (1, 6));
+        assert_eq!(v[1].list().unwrap()[1].col, 9);
+        assert_eq!((v[2].line, v[2].col), (2, 4));
     }
 
     #[test]

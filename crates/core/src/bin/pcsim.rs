@@ -7,6 +7,9 @@
 //! pcsim profile <matrix|fft|lud|model> <seq|sts|ideal|tpe|coupled>
 //!           [--interconnect I] [--memory MM] [--seed N] [--lockstep] [--priority]
 //!           [--jsonl FILE] [--chrome FILE]  # stall table + optional event sinks
+//! pcsim explain <matrix|fft|lud|model> [--modes seq,coupled]
+//!           [--interconnect I] [--memory MM] [--seed N] [--lockstep] [--priority]
+//!           # per-source-line stall attribution, per-loop rollup, mode diff
 //! pcsim compile <source.pc> [--single]      # print the scheduled assembly
 //! pcsim exec <source.pc> [--trace N]        # compile and run a source file
 //! pcsim tables [table2|table3|fig5|fig6|fig7|fig8|ablations|registers|scaling]
@@ -25,6 +28,7 @@ fn usage() -> ! {
         "usage:
   pcsim run <matrix|fft|lud|model> [--mode M] [--interconnect I] [--memory MM] [--seed N] [--lockstep] [--priority]
   pcsim profile <matrix|fft|lud|model> <seq|sts|ideal|tpe|coupled> [--interconnect I] [--memory MM] [--seed N] [--lockstep] [--priority] [--jsonl FILE] [--chrome FILE]
+  pcsim explain <matrix|fft|lud|model> [--modes seq,coupled] [--interconnect I] [--memory MM] [--seed N] [--lockstep] [--priority]
   pcsim compile <source.pc> [--single]
   pcsim exec <source.pc> [--trace N]
   pcsim tables [table2|table3|fig5|fig6|fig7|fig8|ablations|registers|scaling] [--jobs N]"
@@ -76,6 +80,7 @@ fn main() {
     let result = match cmd.as_str() {
         "run" => cmd_run(rest),
         "profile" => cmd_profile(rest),
+        "explain" => cmd_explain(rest),
         "compile" => cmd_compile(rest),
         "exec" => cmd_exec(rest),
         "tables" => cmd_tables(rest),
@@ -175,6 +180,48 @@ fn cmd_profile(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "chrome trace written to {} (open in Perfetto / chrome://tracing)",
             p.display()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(name) = args.first() else { usage() };
+    let bench = parse_bench(name);
+    let modes: Vec<MachineMode> = flag_value(args, "--modes")
+        .map(|s| s.split(',').map(|m| parse_mode(m.trim())).collect())
+        .unwrap_or_else(|| vec![MachineMode::Seq, MachineMode::Coupled]);
+    if modes.is_empty() {
+        usage();
+    }
+    let config = parse_config(args)?;
+    let mut tables = Vec::new();
+    for &mode in &modes {
+        let out = run_benchmark_observed(&bench, mode, config.clone(), &Observe::profiled())?;
+        let src = bench.source(mode).map(str::to_string);
+        println!("{} / {}: validated ✓", bench.name, mode.label());
+        println!(
+            "{}\n",
+            coupling::report::source_report(&out.stats, &out.debug, src.as_deref())
+        );
+        tables.push((
+            mode,
+            coupling::report::source_table(&out.stats, &out.debug),
+            src,
+        ));
+    }
+    // Pairwise diff against the first mode — the per-line Table 4.
+    let (base_mode, base_table, base_src) = &tables[0];
+    for (mode, table, _) in &tables[1..] {
+        println!(
+            "{}",
+            coupling::report::source_diff(
+                base_mode.label(),
+                base_table,
+                mode.label(),
+                table,
+                base_src.as_deref(),
+            )
         );
     }
     Ok(())

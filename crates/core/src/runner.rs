@@ -24,6 +24,10 @@ pub struct RunOutcome {
     pub segments: Vec<SegmentInfo>,
     /// Peak per-cluster register count over all segments.
     pub peak_registers: u32,
+    /// Source-provenance side table from the compiler (empty for
+    /// programs built without debug info — reports then fall back to
+    /// "no provenance").
+    pub debug: pc_isa::DebugMap,
 }
 
 /// Failures of the compile/simulate/validate pipeline.
@@ -163,6 +167,7 @@ fn run_benchmark_full(
     })?;
     let out = pc_compiler::compile_with_options(src, &config, mode.schedule_mode(), options)?;
     let peak = out.peak_registers();
+    let debug = out.debug;
     let mut machine = Machine::new(config, out.program)?;
     (bench.setup)(&mut machine)?;
     if observe.profile {
@@ -170,12 +175,15 @@ fn run_benchmark_full(
     }
     let mut fan = Fanout::new();
     if let Some(path) = &observe.jsonl {
-        let f = std::fs::File::create(path).map_err(RunError::Io)?;
+        let f = create_sink_file(path)?;
         fan = fan.with(Box::new(JsonlSink::new(BufWriter::new(f))));
     }
     if let Some(path) = &observe.chrome {
-        let f = std::fs::File::create(path).map_err(RunError::Io)?;
-        fan = fan.with(Box::new(ChromeTraceSink::new(BufWriter::new(f))));
+        let f = create_sink_file(path)?;
+        fan = fan.with(Box::new(ChromeTraceSink::with_debug(
+            BufWriter::new(f),
+            debug.clone(),
+        )));
     }
     if !fan.is_empty() {
         machine.attach_probe(Box::new(fan));
@@ -188,6 +196,29 @@ fn run_benchmark_full(
         stats,
         segments: out.info,
         peak_registers: peak,
+        debug,
+    })
+}
+
+/// Creates a trace-sink file, creating missing parent directories first
+/// so `--chrome out/traces/run.json` works on a fresh checkout. Failures
+/// carry the offending path in the error message.
+fn create_sink_file(path: &PathBuf) -> Result<std::fs::File, RunError> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| {
+                RunError::Io(std::io::Error::new(
+                    e.kind(),
+                    format!("cannot create trace directory {}: {e}", parent.display()),
+                ))
+            })?;
+        }
+    }
+    std::fs::File::create(path).map_err(|e| {
+        RunError::Io(std::io::Error::new(
+            e.kind(),
+            format!("cannot create trace file {}: {e}", path.display()),
+        ))
     })
 }
 

@@ -1,0 +1,212 @@
+//! Source-level debug information carried alongside a
+//! [`Program`](crate::Program).
+//!
+//! The compiler stamps every emitted operation with *provenance*: the set
+//! of source spans (line/column plus enclosing source loop) the operation
+//! realizes. Optimization may merge several statements into one operation
+//! (CSE, copy coalescing), so a slot maps to a *set* of span ids rather
+//! than a single one. The map is a side table — the
+//! [`Program`](crate::Program) itself is unchanged, and a program without
+//! a map still executes; consumers must treat a missing entry as "no
+//! provenance".
+//!
+//! Keys follow the simulator's addressing of static code: a slot is
+//! `(segment, row, slot index within the instruction word)` — exactly the
+//! coordinates `pc-sim` reports in its issue and stall events, so joining
+//! dynamic events back to source is a table lookup.
+
+use crate::program::SegmentId;
+use std::collections::BTreeMap;
+
+/// A source position: 1-based line and column of the statement's opening
+/// token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SrcSpan {
+    /// 1-based source line (0 = synthetic / unknown).
+    pub line: u32,
+    /// 1-based source column (0 = synthetic / unknown).
+    pub col: u32,
+}
+
+/// One interned source span: position plus the innermost enclosing source
+/// loop, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanInfo {
+    /// Source position.
+    pub span: SrcSpan,
+    /// Index into [`DebugMap::loops`] of the innermost enclosing loop.
+    pub loop_id: Option<u32>,
+}
+
+/// One source loop (`for`, `forall`, or `while`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopInfo {
+    /// Display name: the induction variable for counted loops, `while`
+    /// otherwise.
+    pub name: String,
+    /// 1-based line of the loop header.
+    pub line: u32,
+}
+
+impl LoopInfo {
+    /// Report label, e.g. `i@12`.
+    pub fn label(&self) -> String {
+        format!("{}@{}", self.name, self.line)
+    }
+}
+
+/// Provenance of one code segment: per `(row, slot)` the sorted set of
+/// span ids the operation realizes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SegmentDebug {
+    /// `(row, slot index)` → sorted, deduplicated span ids.
+    pub slots: BTreeMap<(u32, u16), Vec<u32>>,
+}
+
+impl SegmentDebug {
+    /// Records provenance for one slot (ids are sorted and deduplicated).
+    pub fn record(&mut self, row: u32, slot: u16, mut spans: Vec<u32>) {
+        spans.sort_unstable();
+        spans.dedup();
+        if !spans.is_empty() {
+            self.slots.insert((row, slot), spans);
+        }
+    }
+}
+
+/// The compact program → source side table: interned span and loop tables
+/// plus per-segment slot provenance.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DebugMap {
+    /// Interned spans, indexed by provenance id.
+    pub spans: Vec<SpanInfo>,
+    /// Interned source loops, indexed by loop id.
+    pub loops: Vec<LoopInfo>,
+    /// Per-segment provenance, parallel to `Program::segments`.
+    pub segments: Vec<SegmentDebug>,
+}
+
+impl DebugMap {
+    /// An empty map (a program built without debug info).
+    pub fn new() -> Self {
+        DebugMap::default()
+    }
+
+    /// True when the map carries no provenance at all.
+    pub fn is_empty(&self) -> bool {
+        self.segments.iter().all(|s| s.slots.is_empty())
+    }
+
+    /// Span ids realized by `(segment, row, slot)`, if recorded.
+    pub fn lookup(&self, seg: SegmentId, row: u32, slot: u16) -> Option<&[u32]> {
+        self.segments
+            .get(seg.0 as usize)?
+            .slots
+            .get(&(row, slot))
+            .map(Vec::as_slice)
+    }
+
+    /// The *primary* span of a provenance set: the smallest id, which is
+    /// the first-stamped (earliest program order) statement. Accounting
+    /// joins attribute each slot to exactly one line via this rule so
+    /// per-line totals stay consistent with the machine-level totals.
+    pub fn primary(&self, ids: &[u32]) -> Option<&SpanInfo> {
+        self.spans.get(*ids.iter().min()? as usize)
+    }
+
+    /// Source line of a single span id (0 when out of range).
+    pub fn line_of(&self, id: u32) -> u32 {
+        self.spans
+            .get(id as usize)
+            .map(|s| s.span.line)
+            .unwrap_or(0)
+    }
+
+    /// Loop label of the innermost loop enclosing span `id`, if any.
+    pub fn loop_label_of(&self, id: u32) -> Option<String> {
+        let info = self.spans.get(id as usize)?;
+        let l = self.loops.get(info.loop_id? as usize)?;
+        Some(l.label())
+    }
+
+    /// Internal consistency: every recorded span id indexes the span
+    /// table, and every span's loop id indexes the loop table.
+    pub fn consistent(&self) -> bool {
+        self.spans
+            .iter()
+            .all(|s| s.loop_id.map_or(true, |l| (l as usize) < self.loops.len()))
+            && self.segments.iter().all(|seg| {
+                seg.slots
+                    .values()
+                    .flatten()
+                    .all(|&id| (id as usize) < self.spans.len())
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DebugMap {
+        let mut m = DebugMap::new();
+        m.loops.push(LoopInfo {
+            name: "i".into(),
+            line: 3,
+        });
+        m.spans.push(SpanInfo {
+            span: SrcSpan { line: 3, col: 5 },
+            loop_id: Some(0),
+        });
+        m.spans.push(SpanInfo {
+            span: SrcSpan { line: 7, col: 1 },
+            loop_id: None,
+        });
+        let mut seg = SegmentDebug::default();
+        seg.record(0, 0, vec![1, 0, 1]);
+        m.segments.push(seg);
+        m
+    }
+
+    #[test]
+    fn record_sorts_and_dedups() {
+        let m = sample();
+        assert_eq!(m.lookup(SegmentId(0), 0, 0), Some(&[0u32, 1][..]));
+        assert_eq!(m.lookup(SegmentId(0), 1, 0), None);
+        assert_eq!(m.lookup(SegmentId(9), 0, 0), None);
+    }
+
+    #[test]
+    fn primary_is_smallest_id() {
+        let m = sample();
+        let p = m.primary(&[1, 0]).unwrap();
+        assert_eq!(p.span.line, 3);
+        assert!(m.primary(&[]).is_none());
+    }
+
+    #[test]
+    fn loop_labels_resolve() {
+        let m = sample();
+        assert_eq!(m.loop_label_of(0), Some("i@3".to_string()));
+        assert_eq!(m.loop_label_of(1), None);
+        assert_eq!(m.line_of(1), 7);
+        assert_eq!(m.line_of(99), 0);
+    }
+
+    #[test]
+    fn consistency_detects_dangling_ids() {
+        let mut m = sample();
+        assert!(m.consistent());
+        assert!(!m.is_empty());
+        assert!(DebugMap::new().is_empty());
+        m.segments[0].slots.insert((5, 0), vec![42]);
+        assert!(!m.consistent());
+    }
+
+    #[test]
+    fn empty_provenance_is_not_recorded() {
+        let mut seg = SegmentDebug::default();
+        seg.record(0, 0, vec![]);
+        assert!(seg.slots.is_empty());
+    }
+}

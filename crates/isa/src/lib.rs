@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod debug;
 pub mod error;
 pub mod inst;
 pub mod op;
@@ -50,6 +51,7 @@ pub use config::{
     ArbitrationPolicy, ClusterConfig, FuId, FuInfo, InterconnectScheme, MachineConfig, MemoryModel,
     UnitClass, UnitConfig,
 };
+pub use debug::{DebugMap, LoopInfo, SegmentDebug, SpanInfo, SrcSpan};
 pub use error::{IsaError, Result};
 pub use inst::InstWord;
 pub use op::{BranchOp, FloatOp, IntOp, LoadFlavor, MemOp, OpKind, Operation, StoreFlavor};

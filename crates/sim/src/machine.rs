@@ -162,8 +162,17 @@ struct Obs {
     profiling: bool,
     /// Cached `sink.is_some() || profiling`.
     on: bool,
-    /// Stall accounting (populated when `profiling`).
+    /// Stall accounting (populated when `profiling`). The per-slot
+    /// breakdowns (`by_slot`, `issued_by_slot`) are kept in the dense
+    /// arrays below during the run and folded in by [`Machine::stats`].
     stalls: StallTable,
+    /// Per segment, per row: base index of that row's slots in the dense
+    /// counter arrays (built by [`Machine::enable_profiling`]).
+    slot_base: Vec<Vec<u32>>,
+    /// Issued-operation counts per static slot, dense over the program.
+    issued_dense: Vec<u64>,
+    /// Stalled cycles per static slot × cause, dense over the program.
+    stalled_dense: Vec<[u64; StallCause::COUNT]>,
     /// Per-unit: was the unit's most recent writeback denial for bus
     /// capacity (true) rather than a write port (false)?
     wb_denied_bus: Vec<bool>,
@@ -354,6 +363,23 @@ impl Machine {
     /// schedule — only the accounting differs from an unprofiled run.
     pub fn enable_profiling(&mut self) {
         self.obs.profiling = true;
+        if self.obs.slot_base.is_empty() {
+            // Lay the program's slots out flat so the hot loop records
+            // issues and per-slot stalls with one array increment; the
+            // BTreeMap form the stall table exposes is rebuilt from
+            // these in `stats`.
+            let mut total = 0u32;
+            for seg in &self.program.segments {
+                let mut bases = Vec::with_capacity(seg.rows.len());
+                for row in &seg.rows {
+                    bases.push(total);
+                    total += row.len() as u32;
+                }
+                self.obs.slot_base.push(bases);
+            }
+            self.obs.issued_dense = vec![0; total as usize];
+            self.obs.stalled_dense = vec![[0; StallCause::COUNT]; total as usize];
+        }
         self.obs.refresh();
     }
 
@@ -409,6 +435,29 @@ impl Machine {
 
     /// Snapshot of statistics so far.
     pub fn stats(&self) -> RunStats {
+        let mut stalls = self.obs.stalls.clone();
+        // Fold the dense per-slot counters into the stall table's map
+        // form, skipping slots that never issued or stalled.
+        for (si, bases) in self.obs.slot_base.iter().enumerate() {
+            for (ri, &base) in bases.iter().enumerate() {
+                let n = self.program.segments[si].rows[ri].len();
+                for s in 0..n {
+                    let idx = base as usize + s;
+                    let key = (si as u32, ri as u32, s as u16);
+                    let issued = self.obs.issued_dense[idx];
+                    if issued != 0 {
+                        *stalls.issued_by_slot.entry(key).or_insert(0) += issued;
+                    }
+                    let by_cause = &self.obs.stalled_dense[idx];
+                    if by_cause.iter().any(|&c| c != 0) {
+                        let e = stalls.by_slot.entry(key).or_insert([0; StallCause::COUNT]);
+                        for (d, &c) in e.iter_mut().zip(by_cause) {
+                            *d += c;
+                        }
+                    }
+                }
+            }
+        }
         RunStats {
             cycles: self.cycle,
             ops_issued: self.ops_issued,
@@ -426,7 +475,7 @@ impl Machine {
             xconn: self.xconn.stats(),
             busy_cycles: self.busy_cycles,
             peak_threads: self.peak_threads,
-            stalls: self.obs.stalls.clone(),
+            stalls,
         }
     }
 
@@ -611,9 +660,16 @@ impl Machine {
                 }
                 continue;
             }
-            let (cause, class) = self.stall_reason(t);
+            let (cause, class, at) = self.stall_reason(t);
             if self.obs.profiling {
-                self.obs.stalls.record_stall(ti, cause, class);
+                self.obs.stalls.record_stall_thread(ti, cause, class);
+                match at {
+                    Some((seg, row, slot)) => {
+                        let base = self.obs.slot_base[seg as usize][row as usize];
+                        self.obs.stalled_dense[base as usize + slot as usize][cause.index()] += 1;
+                    }
+                    None => self.obs.stalls.unattributed[cause.index()] += 1,
+                }
             }
             if let Some(sink) = &mut self.obs.sink {
                 sink.event(&ProbeEvent::Stall {
@@ -621,22 +677,25 @@ impl Machine {
                     thread: ti,
                     cause,
                     class,
+                    at,
                 });
             }
         }
     }
 
     /// Primary stall cause for a thread that issued nothing this cycle,
-    /// decided from the same [`Readiness`] the issue logic used.
-    fn stall_reason(&self, t: &Thread) -> (StallCause, Option<UnitClass>) {
+    /// decided from the same [`Readiness`] the issue logic used. The
+    /// third element is the blocked slot's static-code coordinate
+    /// `(segment, row, slot)`, absent for control bubbles.
+    fn stall_reason(&self, t: &Thread) -> (StallCause, Option<UnitClass>, Option<(u32, u32, u16)>) {
         let seg = self.program.segment(t.segment);
         let Some(row) = seg.rows.get(t.ip as usize) else {
-            return (StallCause::EmptyRow, None);
+            return (StallCause::EmptyRow, None, None);
         };
         // First ready-but-blocked slot and first unready slot, in row
         // order.
-        let mut blocked: Option<(StallCause, UnitClass)> = None;
-        let mut unready: Option<(StallCause, UnitClass)> = None;
+        let mut blocked: Option<(StallCause, UnitClass, u16)> = None;
+        let mut unready: Option<(StallCause, UnitClass, u16)> = None;
         for (i, (fu, op)) in row.slots().iter().enumerate() {
             if t.issued.get(i).copied().unwrap_or(true) {
                 continue;
@@ -657,7 +716,7 @@ impl Machine {
                         StallCause::LostArbitration
                     };
                     if blocked.is_none() {
-                        blocked = Some((cause, class));
+                        blocked = Some((cause, class, i as u16));
                     }
                 }
                 Readiness::Operands => {
@@ -667,12 +726,12 @@ impl Machine {
                         StallCause::OperandNotPresent
                     };
                     if unready.is_none() {
-                        unready = Some((cause, class));
+                        unready = Some((cause, class, i as u16));
                     }
                 }
                 Readiness::MemOrder => {
                     if unready.is_none() {
-                        unready = Some((StallCause::MemoryBusy, class));
+                        unready = Some((StallCause::MemoryBusy, class, i as u16));
                     }
                 }
             }
@@ -686,10 +745,10 @@ impl Machine {
             blocked.or(unready)
         };
         match primary {
-            Some((cause, class)) => (cause, Some(class)),
+            Some((cause, class, slot)) => (cause, Some(class), Some((t.segment.0, t.ip, slot))),
             // Row fully issued: a control bubble awaiting branch
             // resolution.
-            None => (StallCause::EmptyRow, None),
+            None => (StallCause::EmptyRow, None, None),
         }
     }
 
@@ -1182,13 +1241,19 @@ impl Machine {
         self.ops_issued += 1;
         self.ops_by_unit[fu.0 as usize] += 1;
         *self.ops_by_class.entry(op.unit_class()).or_insert(0) += 1;
+        if self.obs.profiling {
+            let base = self.obs.slot_base[seg_id.0 as usize][row as usize];
+            self.obs.issued_dense[base as usize + slot_idx] += 1;
+        }
         if self.obs.trace.is_some() || self.obs.sink.is_some() {
             let ev = crate::trace::TraceEvent {
                 cycle: now,
                 fu,
                 thread: tid.0,
                 mnemonic: op.kind.mnemonic(),
+                seg: seg_id.0,
                 row,
+                slot: slot_idx as u16,
             };
             if let Some(sink) = &mut self.obs.sink {
                 sink.event(&ProbeEvent::Issue(ev.clone()));

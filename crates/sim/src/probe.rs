@@ -117,6 +117,10 @@ pub enum ProbeEvent {
         cause: StallCause,
         /// Unit class of the blocked slot, when one exists.
         class: Option<UnitClass>,
+        /// Static-code coordinate `(segment, row, slot)` of the blocked
+        /// slot — the key into [`pc_isa::DebugMap`]. Absent for control
+        /// bubbles (empty rows, threads past their last row).
+        at: Option<(u32, u32, u16)>,
     },
     /// One register write retired through the interconnect.
     Writeback {
@@ -205,19 +209,23 @@ impl ProbeEvent {
         match self {
             ProbeEvent::Issue(e) => write!(
                 out,
-                r#"{{"kind":"issue","cycle":{},"thread":{},"fu":{},"mnemonic":"{}","row":{}}}"#,
-                e.cycle, e.thread, e.fu.0, e.mnemonic, e.row
+                r#"{{"kind":"issue","cycle":{},"thread":{},"fu":{},"mnemonic":"{}","seg":{},"row":{},"slot":{}}}"#,
+                e.cycle, e.thread, e.fu.0, e.mnemonic, e.seg, e.row, e.slot
             ),
             ProbeEvent::Stall {
                 cycle,
                 thread,
                 cause,
                 class,
+                at,
             } => {
                 let class = class.map(|c| c.label()).unwrap_or("-");
+                let at = at
+                    .map(|(s, r, sl)| format!("[{s},{r},{sl}]"))
+                    .unwrap_or_else(|| "null".to_string());
                 write!(
                     out,
-                    r#"{{"kind":"stall","cycle":{cycle},"thread":{thread},"cause":"{}","class":"{class}"}}"#,
+                    r#"{{"kind":"stall","cycle":{cycle},"thread":{thread},"cause":"{}","class":"{class}","at":{at}}}"#,
                     cause.label()
                 )
             }
@@ -486,6 +494,9 @@ pub struct ChromeTraceSink<W: Write> {
     /// `(pid, tid)` pairs already given metadata records.
     named: Vec<(u32, u16)>,
     err: Option<io::Error>,
+    /// Optional source side-table: when present, issue and stall records
+    /// carry `args: {line, loop}` resolved from their static coordinate.
+    debug: Option<pc_isa::DebugMap>,
 }
 
 /// Synthetic lane id carrying a thread's stall instants.
@@ -503,7 +514,36 @@ impl<W: Write> ChromeTraceSink<W> {
             closed: false,
             named: Vec::new(),
             err,
+            debug: None,
         }
+    }
+
+    /// [`ChromeTraceSink::new`] plus a source side-table: every drawn
+    /// record's `args` gains the source `line` (and `loop` label when the
+    /// span sits inside one) resolved from its `(segment, row, slot)`.
+    pub fn with_debug(w: W, debug: pc_isa::DebugMap) -> Self {
+        let mut s = ChromeTraceSink::new(w);
+        s.debug = Some(debug);
+        s
+    }
+
+    /// `,"line":N` (and `,"loop":"i@N"`) fragment for a static coordinate,
+    /// empty when no provenance is known.
+    fn src_args(&self, seg: u32, row: u32, slot: u16) -> String {
+        let Some(d) = &self.debug else {
+            return String::new();
+        };
+        let Some(ids) = d.lookup(pc_isa::SegmentId(seg), row, slot) else {
+            return String::new();
+        };
+        let Some(primary) = ids.iter().min().copied() else {
+            return String::new();
+        };
+        let mut s = format!(r#","line":{}"#, d.line_of(primary));
+        if let Some(label) = d.loop_label_of(primary) {
+            s.push_str(&format!(r#","loop":"{label}""#));
+        }
+        s
     }
 
     /// Exact per-kind counts of the *simulation* events consumed (the
@@ -574,8 +614,9 @@ impl<W: Write> Probe for ChromeTraceSink<W> {
         match e {
             ProbeEvent::Issue(t) => {
                 self.ensure_named(t.thread, t.fu.0, &format!("u{}", t.fu.0));
+                let src = self.src_args(t.seg, t.row, t.slot);
                 let rec = format!(
-                    r#"{{"ph":"X","name":"{}","cat":"issue","ts":{},"dur":1,"pid":{},"tid":{},"args":{{"row":{}}}}}"#,
+                    r#"{{"ph":"X","name":"{}","cat":"issue","ts":{},"dur":1,"pid":{},"tid":{},"args":{{"row":{}{src}}}}}"#,
                     t.mnemonic, t.cycle, t.thread, t.fu.0, t.row
                 );
                 self.push_record(&rec);
@@ -584,11 +625,21 @@ impl<W: Write> Probe for ChromeTraceSink<W> {
                 cycle,
                 thread,
                 cause,
+                at,
                 ..
             } => {
                 self.ensure_named(*thread, STALL_LANE, "stalls");
+                let src = at
+                    .map(|(s, r, sl)| self.src_args(s, r, sl))
+                    .unwrap_or_default();
+                let args = if src.is_empty() {
+                    String::new()
+                } else {
+                    // src starts with a comma; strip it inside the object.
+                    format!(r#","args":{{{}}}"#, &src[1..])
+                };
                 let rec = format!(
-                    r#"{{"ph":"i","name":"{}","cat":"stall","s":"t","ts":{cycle},"pid":{thread},"tid":{STALL_LANE}}}"#,
+                    r#"{{"ph":"i","name":"{}","cat":"stall","s":"t","ts":{cycle},"pid":{thread},"tid":{STALL_LANE}{args}}}"#,
                     cause.label()
                 );
                 self.push_record(&rec);
@@ -671,7 +722,9 @@ mod tests {
             fu: FuId(fu),
             thread,
             mnemonic: "add",
+            seg: 0,
             row: 0,
+            slot: 0,
         })
     }
 
@@ -686,6 +739,7 @@ mod tests {
             thread: 0,
             cause: StallCause::EmptyRow,
             class: None,
+            at: None,
         });
         assert_eq!(ring.counts().issues, 5);
         assert_eq!(ring.counts().stalls, 1);
@@ -728,6 +782,7 @@ mod tests {
             thread: 1,
             cause: StallCause::MemoryBusy,
             class: Some(UnitClass::Memory),
+            at: Some((0, 2, 0)),
         });
         sink.event(&ProbeEvent::Writeback {
             cycle: 2,
@@ -779,6 +834,7 @@ mod tests {
                 thread: 0,
                 cause: StallCause::LostArbitration,
                 class: Some(UnitClass::Integer),
+                at: Some((0, 1, 2)),
             },
             ProbeEvent::Writeback {
                 cycle: 1,

@@ -58,6 +58,17 @@ pub struct StallTable {
     /// Stalled cycles by the blocked slot's unit class (control bubbles
     /// carry no class and appear only in the per-thread rows).
     pub by_class: BTreeMap<UnitClass, [u64; StallCause::COUNT]>,
+    /// Stalled cycles by the blocked slot's static-code coordinate
+    /// `(segment, row, slot)` — the key a [`pc_isa::DebugMap`] resolves
+    /// back to a source line. Stalls with no blocked slot (control
+    /// bubbles) accumulate in [`StallTable::unattributed`] instead, so
+    /// `Σ by_slot + Σ unattributed == Σ threads.by_cause`.
+    pub by_slot: BTreeMap<(u32, u32, u16), [u64; StallCause::COUNT]>,
+    /// Stalled cycles whose stall had no specific blocked slot.
+    pub unattributed: [u64; StallCause::COUNT],
+    /// Operations issued per static-code coordinate (populated alongside
+    /// the stall counters when profiling is on).
+    pub issued_by_slot: BTreeMap<(u32, u32, u16), u64>,
 }
 
 impl StallTable {
@@ -76,12 +87,49 @@ impl StallTable {
     /// Records a stalled cycle for `thread` with its primary cause and,
     /// when a specific slot was blocked, that slot's unit class.
     pub fn record_stall(&mut self, thread: u32, cause: StallCause, class: Option<UnitClass>) {
+        self.record_stall_at(thread, cause, class, None);
+    }
+
+    /// [`StallTable::record_stall`] carrying the blocked slot's
+    /// static-code coordinate `(segment, row, slot)` when one exists.
+    pub fn record_stall_at(
+        &mut self,
+        thread: u32,
+        cause: StallCause,
+        class: Option<UnitClass>,
+        at: Option<(u32, u32, u16)>,
+    ) {
+        self.record_stall_thread(thread, cause, class);
+        match at {
+            Some(key) => {
+                self.by_slot.entry(key).or_insert([0; StallCause::COUNT])[cause.index()] += 1;
+            }
+            None => self.unattributed[cause.index()] += 1,
+        }
+    }
+
+    /// The per-thread and per-class half of [`StallTable::record_stall_at`]
+    /// alone. For callers that account the blocked slot's coordinate in
+    /// their own dense counters (the simulator's hot path) and fold the
+    /// per-slot breakdown in at snapshot time — [`StallTable::consistent`]
+    /// only holds once that fold has happened.
+    pub fn record_stall_thread(
+        &mut self,
+        thread: u32,
+        cause: StallCause,
+        class: Option<UnitClass>,
+    ) {
         let t = self.slot(thread);
         t.alive += 1;
         t.by_cause[cause.index()] += 1;
         if let Some(c) = class {
             self.by_class.entry(c).or_insert([0; StallCause::COUNT])[cause.index()] += 1;
         }
+    }
+
+    /// Records one issued operation at a static-code coordinate.
+    pub fn record_issue_at(&mut self, seg: u32, row: u32, slot: u16) {
+        *self.issued_by_slot.entry((seg, row, slot)).or_insert(0) += 1;
     }
 
     fn slot(&mut self, thread: u32) -> &mut ThreadStalls {
@@ -108,9 +156,18 @@ impl StallTable {
     }
 
     /// Checks the accounting invariant on every thread:
-    /// `alive == busy + Σ by_cause`.
+    /// `alive == busy + Σ by_cause`, and that the per-slot breakdown
+    /// (plus the unattributed bucket) sums to the same stall totals.
     pub fn consistent(&self) -> bool {
-        self.threads.iter().all(|t| t.alive == t.busy + t.stalled())
+        let per_thread = self.threads.iter().all(|t| t.alive == t.busy + t.stalled());
+        let slot_total: u64 = self
+            .by_slot
+            .values()
+            .flat_map(|a| a.iter())
+            .chain(self.unattributed.iter())
+            .sum();
+        let stall_total: u64 = self.threads.iter().map(ThreadStalls::stalled).sum();
+        per_thread && slot_total == stall_total
     }
 }
 

@@ -22,8 +22,13 @@ pub struct TraceEvent {
     pub thread: u32,
     /// The operation's mnemonic.
     pub mnemonic: &'static str,
+    /// The thread's code segment.
+    pub seg: u32,
     /// Row of the thread's segment the operation came from.
     pub row: u32,
+    /// Slot index within the instruction word (static-code coordinate —
+    /// joins against [`pc_isa::DebugMap`] for source provenance).
+    pub slot: u16,
 }
 
 /// Cycle-indexed view of an event stream: cell `(cycle, unit)` holds the
@@ -174,7 +179,9 @@ mod tests {
             fu: FuId(fu),
             thread,
             mnemonic,
+            seg: 0,
             row: 0,
+            slot: 0,
         }
     }
 

@@ -184,6 +184,129 @@ fn chrome_trace_is_well_formed_and_complete() {
     );
 }
 
+/// Source-level attribution conserves the machine-level totals, for
+/// every benchmark × supported mode: summing the per-line table of
+/// `source_table` (the join behind `source_report` and `pcsim explain`)
+/// reproduces the `StallTable` stall total *per cause* and the global
+/// issue count exactly. Nothing is dropped and nothing is double
+/// counted — unattributable cycles land in the explicit
+/// "(no provenance)" bucket instead of vanishing.
+#[test]
+fn source_attribution_conserves_machine_totals() {
+    for bench in benchmarks::all() {
+        for mode in MachineMode::all() {
+            if bench.source(mode).is_none() {
+                continue;
+            }
+            let out = run_benchmark_observed(
+                &bench,
+                mode,
+                MachineConfig::baseline(),
+                &Observe::profiled(),
+            )
+            .unwrap();
+            let table = coupling::report::source_table(&out.stats, &out.debug);
+            for cause in StallCause::ALL {
+                let machine: u64 = out
+                    .stats
+                    .stalls
+                    .threads
+                    .iter()
+                    .map(|t| t.cause(cause))
+                    .sum();
+                let source: u64 = table.lines.iter().map(|l| l.by_cause[cause.index()]).sum();
+                assert_eq!(
+                    source,
+                    machine,
+                    "{} {mode} {}: per-line sum disagrees with stall table",
+                    bench.name,
+                    cause.label()
+                );
+            }
+            assert_eq!(
+                table.total_issued(),
+                out.stats.ops_issued,
+                "{} {mode}: per-line issue counts disagree with ops_issued",
+                bench.name
+            );
+            // The rendered report shows the same conserved totals.
+            let report =
+                coupling::report::source_report(&out.stats, &out.debug, bench.source(mode));
+            assert!(
+                report.contains(&table.total_stalled().to_string()),
+                "{} {mode}: report lost the stall total\n{report}",
+                bench.name
+            );
+        }
+    }
+}
+
+/// A program without debug info still reports — every counter falls into
+/// the explicit "(no provenance)" row, with totals conserved.
+#[test]
+fn missing_debug_info_degrades_to_no_provenance_bucket() {
+    let bench = benchmarks::matrix();
+    let out = run_benchmark_observed(
+        &bench,
+        MachineMode::Coupled,
+        MachineConfig::baseline(),
+        &Observe::profiled(),
+    )
+    .unwrap();
+    let empty = pc_isa::DebugMap::new();
+    let table = coupling::report::source_table(&out.stats, &empty);
+    assert_eq!(table.lines.len(), 1, "all counters collapse to one bucket");
+    assert_eq!(table.lines[0].line, 0);
+    assert_eq!(table.total_issued(), out.stats.ops_issued);
+    let with_debug = coupling::report::source_table(&out.stats, &out.debug);
+    assert_eq!(table.total_stalled(), with_debug.total_stalled());
+    let report = coupling::report::source_report(&out.stats, &empty, None);
+    assert!(report.contains("(no provenance)"), "{report}");
+}
+
+/// Trace sinks create missing parent directories instead of failing, and
+/// failures that do happen name the offending path.
+#[test]
+fn sink_paths_create_parent_directories() {
+    let bench = benchmarks::matrix();
+    let dir = scratch("nested-dir");
+    std::fs::remove_dir_all(&dir).ok();
+    let jsonl = dir.join("deep/run.jsonl");
+    let chrome = dir.join("deeper/still/trace.json");
+    let observe = Observe {
+        profile: false,
+        jsonl: Some(jsonl.clone()),
+        chrome: Some(chrome.clone()),
+    };
+    run_benchmark_observed(
+        &bench,
+        MachineMode::Seq,
+        MachineConfig::baseline(),
+        &observe,
+    )
+    .unwrap();
+    assert!(std::fs::metadata(&jsonl).unwrap().len() > 0);
+    assert!(std::fs::metadata(&chrome).unwrap().len() > 0);
+    std::fs::remove_dir_all(&dir).ok();
+
+    // An uncreatable path (parent is a file) fails with the path named.
+    let blocker = scratch("blocker-file");
+    std::fs::write(&blocker, b"x").unwrap();
+    let bad = Observe {
+        profile: false,
+        jsonl: Some(blocker.join("run.jsonl")),
+        chrome: None,
+    };
+    let err = run_benchmark_observed(&bench, MachineMode::Seq, MachineConfig::baseline(), &bad)
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("blocker-file"),
+        "error must name the path: {msg}"
+    );
+    std::fs::remove_file(&blocker).ok();
+}
+
 /// Both sinks at once through the fan-out, with profiling on top —
 /// the full observability stack in one run, still bit-identical stats.
 #[test]

@@ -1,0 +1,231 @@
+//! Property tests for source provenance through the optimizer: random
+//! structured programs are lowered, then run through arbitrary sequences
+//! of optimization passes. After **every** pass, (1) no surviving IR
+//! operation may have an empty provenance set — merges (CSE, copy
+//! coalescing) must union span sets, never drop them — and (2) every
+//! provenance id must still index the interned span table, i.e. DCE
+//! never orphans a span referenced by survivors (the table is
+//! append-only precisely so deletion cannot invalidate ids). The full
+//! compile must then produce a consistent, non-empty [`pc_isa::DebugMap`].
+
+use pc_compiler::ir::Func;
+use pc_compiler::{front, lower, opt, ScheduleMode};
+use pc_isa::MachineConfig;
+use proptest::prelude::*;
+
+/// A statement of the tiny generated language (ints only, vars `x0..x3`,
+/// one 8-element array).
+#[derive(Debug, Clone)]
+enum GStmt {
+    Set(usize, GExpr),
+    Store(GExpr, GExpr),
+    If(GExpr, Vec<GStmt>, Vec<GStmt>),
+    For(u8, Vec<GStmt>),
+}
+
+#[derive(Debug, Clone)]
+enum GExpr {
+    Const(i64),
+    Var(usize),
+    Load(Box<GExpr>),
+    Add(Box<GExpr>, Box<GExpr>),
+    Mul(Box<GExpr>, Box<GExpr>),
+    Lt(Box<GExpr>, Box<GExpr>),
+}
+
+fn gexpr(depth: u32) -> BoxedStrategy<GExpr> {
+    let leaf = prop_oneof![
+        (-9i64..9).prop_map(GExpr::Const),
+        (0usize..4).prop_map(GExpr::Var),
+    ];
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| GExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| GExpr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| GExpr::Lt(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| GExpr::Load(Box::new(a))),
+        ]
+    })
+    .boxed()
+}
+
+fn gstmt(depth: u32) -> BoxedStrategy<GStmt> {
+    let leaf = prop_oneof![
+        (0usize..4, gexpr(2)).prop_map(|(v, e)| GStmt::Set(v, e)),
+        (gexpr(1), gexpr(2)).prop_map(|(i, e)| GStmt::Store(i, e)),
+    ];
+    leaf.prop_recursive(depth, 16, 3, |inner| {
+        prop_oneof![
+            (
+                gexpr(1),
+                prop::collection::vec(inner.clone(), 1..3),
+                prop::collection::vec(inner.clone(), 0..2)
+            )
+                .prop_map(|(c, t, e)| GStmt::If(c, t, e)),
+            (1u8..4, prop::collection::vec(inner, 1..3)).prop_map(|(k, b)| GStmt::For(k, b)),
+        ]
+    })
+    .boxed()
+}
+
+fn render_expr(e: &GExpr, loops: usize) -> String {
+    match e {
+        GExpr::Const(c) => c.to_string(),
+        GExpr::Var(v) => {
+            if loops > 0 && *v % 2 == 1 {
+                format!("l{}", v % loops)
+            } else {
+                format!("x{v}")
+            }
+        }
+        GExpr::Load(i) => format!("(aref arr (and {} 7))", render_expr(i, loops)),
+        GExpr::Add(a, b) => format!("(+ {} {})", render_expr(a, loops), render_expr(b, loops)),
+        GExpr::Mul(a, b) => format!("(* {} {})", render_expr(a, loops), render_expr(b, loops)),
+        GExpr::Lt(a, b) => format!("(< {} {})", render_expr(a, loops), render_expr(b, loops)),
+    }
+}
+
+fn render_stmts(stmts: &[GStmt], loops: usize, out: &mut String) {
+    for s in stmts {
+        match s {
+            GStmt::Set(v, e) => out.push_str(&format!("(set x{v} {}) ", render_expr(e, loops))),
+            GStmt::Store(i, e) => out.push_str(&format!(
+                "(aset arr (and {} 7) {}) ",
+                render_expr(i, loops),
+                render_expr(e, loops)
+            )),
+            GStmt::If(c, t, e) => {
+                out.push_str(&format!("(if (!= {} 0) (begin ", render_expr(c, loops)));
+                render_stmts(t, loops, out);
+                out.push_str(") (begin ");
+                render_stmts(e, loops, out);
+                out.push_str(")) ");
+            }
+            GStmt::For(k, b) => {
+                out.push_str(&format!("(for (l{loops} 0 {k}) "));
+                render_stmts(b, loops + 1, out);
+                out.push_str(") ");
+            }
+        }
+    }
+}
+
+fn render_program(stmts: &[GStmt]) -> String {
+    let mut body = String::new();
+    render_stmts(stmts, 0, &mut body);
+    format!(
+        "(global arr (array int 8))
+         (defun main ()
+           (let ((x0 1) (x1 2) (x2 3) (x3 4))
+             {body}
+             (aset arr 0 (+ x0 (+ x1 (+ x2 x3))))))"
+    )
+}
+
+/// One optimization pass, selected by index (proptest picks sequences).
+fn apply_pass(f: &mut Func, which: u8) -> &'static str {
+    match which % 6 {
+        0 => {
+            opt::fold_and_propagate(f);
+            "fold_and_propagate"
+        }
+        1 => {
+            opt::algebraic(f);
+            "algebraic"
+        }
+        2 => {
+            opt::cse(f);
+            "cse"
+        }
+        3 => {
+            opt::copy_propagate(f);
+            "copy_propagate"
+        }
+        4 => {
+            opt::coalesce_copies(f);
+            "coalesce_copies"
+        }
+        _ => {
+            opt::dce(f);
+            "dce"
+        }
+    }
+}
+
+/// Asserts the two provenance invariants on every instruction of `f`.
+fn assert_provenance(f: &Func, span_count: usize, ctx: &str) {
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for (ii, inst) in b.insts.iter().enumerate() {
+            assert!(
+                !inst.prov.is_empty(),
+                "{ctx}: {}:b{bi}:i{ii} has empty provenance: {inst:?}",
+                f.name
+            );
+            for &id in &inst.prov {
+                assert!(
+                    (id as usize) < span_count,
+                    "{ctx}: {}:b{bi}:i{ii} references orphaned span {id} (table has {span_count})",
+                    f.name
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn no_pass_drops_or_orphans_provenance(
+        stmts in prop::collection::vec(gstmt(3), 1..5),
+        passes in prop::collection::vec(0u8..6, 1..10),
+        licm in any::<bool>(),
+    ) {
+        let src = render_program(&stmts);
+        let module = front::expand(&src).expect("expands");
+        let mut ir = lower::lower(&module, lower::LowerOptions { forall_variants: 4 })
+            .expect("lowers");
+        let span_count = ir.spans.len();
+        for f in &ir.funcs {
+            assert_provenance(f, span_count, "after lowering");
+        }
+        for f in &mut ir.funcs {
+            for &p in &passes {
+                let name = apply_pass(f, p);
+                assert_provenance(f, span_count, name);
+            }
+            if licm {
+                opt::licm(f);
+                assert_provenance(f, span_count, "licm");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_debug_map_is_consistent_and_total(
+        stmts in prop::collection::vec(gstmt(2), 1..4),
+        single in any::<bool>(),
+    ) {
+        let src = render_program(&stmts);
+        let mode = if single { ScheduleMode::Single } else { ScheduleMode::Unrestricted };
+        let out = pc_compiler::compile(&src, &MachineConfig::baseline(), mode)
+            .expect("compiles");
+        prop_assert!(out.debug.consistent());
+        prop_assert!(!out.debug.is_empty(), "generated program lost all provenance");
+        prop_assert_eq!(out.debug.segments.len(), out.program.segments.len());
+        // Every annotated slot names a real (row, slot) of its segment.
+        for (sd, seg) in out.debug.segments.iter().zip(&out.program.segments) {
+            for (&(row, slot), ids) in &sd.slots {
+                prop_assert!((row as usize) < seg.rows.len());
+                prop_assert!((slot as usize) < seg.rows[row as usize].slots().len());
+                prop_assert!(!ids.is_empty());
+            }
+        }
+        // And the side table survives the assembly round trip intact.
+        let text = pc_asm::print_program_with_debug(&out.program, &out.debug);
+        let (p2, d2) = pc_asm::parse_program_with_debug(&text).expect("parses");
+        prop_assert_eq!(&p2, &out.program);
+        prop_assert_eq!(&d2, &out.debug);
+        prop_assert_eq!(pc_asm::print_program_with_debug(&p2, &d2), text);
+    }
+}
