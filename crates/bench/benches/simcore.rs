@@ -1,10 +1,13 @@
 //! simcore — throughput baseline for the simulator hot loop and the
 //! parallel sweep driver.
 //!
-//! Times (a) one compile+simulate+validate pipeline per benchmark × mode
-//! (per-iteration time plus simulated cycles/second, the hot-loop
-//! number) and (b) the full Table-2 baseline sweep, serial vs parallel,
-//! asserting the two produce bit-identical rows. Results are written to
+//! Times (a) the **simulation phase** — machine construction, input
+//! setup, and the cycle loop — for every benchmark × machine mode it
+//! supports, compiling once per case outside the timed region (the
+//! compiler has its own bench, `toolchain_perf`; folding its cost into
+//! the hot-loop number hid simulator changes on short kernels), and
+//! (b) the full Table-2 baseline sweep, serial vs parallel, asserting
+//! the two produce bit-identical rows. Results are written to
 //! `BENCH_simcore.json` at the workspace root so future changes can be
 //! compared against the committed baseline:
 //!
@@ -14,15 +17,18 @@
 //! ```
 
 use coupling::experiments::baseline;
-use coupling::{
-    benchmarks, default_jobs, run_benchmark, run_benchmark_observed, MachineMode, Observe,
-};
+use coupling::{benchmarks, default_jobs, run_benchmark, MachineMode};
 use criterion::{criterion_group, criterion_main, Criterion};
 use pc_isa::MachineConfig;
+use pc_sim::Machine;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Where the machine-readable baseline lands: the workspace root.
 const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simcore.json");
+
+/// Cycle budget per simulation (far above any benchmark's real length).
+const CYCLE_LIMIT: u64 = 20_000_000;
 
 fn bench(c: &mut Criterion) {
     // CI smoke mode (PC_BENCH_QUICK=1): shrink the statistical budget so
@@ -39,8 +45,12 @@ fn bench(c: &mut Criterion) {
         )
     };
 
-    // (a) Hot-loop throughput: full pipeline per benchmark × mode, with
-    // the run's cycle count so the report can derive cycles/second.
+    // (a) Hot-loop throughput: the full benchmark × mode cross-product.
+    // Each case compiles once, then every timed iteration builds a
+    // machine on the shared program, sets up inputs, and runs — the
+    // simulation phase the `sim_cycles_per_sec` metric describes. One
+    // validated pipeline run up front pins the cycle count (simulation
+    // is deterministic) and keeps the numerics honest.
     let mut cycles_per_case: Vec<(String, u64)> = Vec::new();
     {
         let mut g = c.benchmark_group("simcore");
@@ -48,18 +58,22 @@ fn bench(c: &mut Criterion) {
             .measurement_time(measure)
             .warm_up_time(warmup);
         for b in benchmarks::all() {
-            // LUD is ~10× the others; one mode keeps the wall clock sane.
-            let modes: &[MachineMode] = if b.name == "LUD" {
-                &[MachineMode::Coupled]
-            } else {
-                &[MachineMode::Sts, MachineMode::Coupled]
-            };
-            for &mode in modes {
-                let out = run_benchmark(&b, mode, MachineConfig::baseline()).expect("run");
+            for mode in MachineMode::all() {
+                let Some(src) = b.source(mode) else { continue };
+                let config = MachineConfig::baseline();
+                let out = run_benchmark(&b, mode, config.clone()).expect("validated run");
+                let compiled =
+                    pc_compiler::compile(src, &config, mode.schedule_mode()).expect("compile");
+                let program = Arc::new(compiled.program);
                 let id = format!("{}/{}", b.name, mode.label());
                 cycles_per_case.push((format!("simcore/{id}"), out.stats.cycles));
                 g.bench_function(&id, |bench| {
-                    bench.iter(|| run_benchmark(&b, mode, MachineConfig::baseline()).expect("run"))
+                    bench.iter(|| {
+                        let mut m =
+                            Machine::new_shared(config.clone(), Arc::clone(&program)).unwrap();
+                        (b.setup)(&mut m).unwrap();
+                        m.run(CYCLE_LIMIT).unwrap()
+                    })
                 });
             }
         }
@@ -69,34 +83,34 @@ fn bench(c: &mut Criterion) {
         // protects (tracing off must stay free).
         {
             let b = benchmarks::matrix();
-            let observe = Observe::profiled();
-            let out = run_benchmark_observed(
-                &b,
-                MachineMode::Coupled,
-                MachineConfig::baseline(),
-                &observe,
-            )
-            .expect("run");
+            let mode = MachineMode::Coupled;
+            let config = MachineConfig::baseline();
+            let out = run_benchmark(&b, mode, config.clone()).expect("validated run");
+            let compiled =
+                pc_compiler::compile(b.source(mode).unwrap(), &config, mode.schedule_mode())
+                    .expect("compile");
+            let program = Arc::new(compiled.program);
             cycles_per_case.push((
                 "simcore/Matrix/Coupled/profiled".to_string(),
                 out.stats.cycles,
             ));
             g.bench_function("Matrix/Coupled/profiled", |bench| {
                 bench.iter(|| {
-                    run_benchmark_observed(
-                        &b,
-                        MachineMode::Coupled,
-                        MachineConfig::baseline(),
-                        &observe,
-                    )
-                    .expect("run")
+                    let mut m = Machine::new_shared(config.clone(), Arc::clone(&program)).unwrap();
+                    m.enable_profiling();
+                    (b.setup)(&mut m).unwrap();
+                    m.run(CYCLE_LIMIT).unwrap()
                 })
             });
         }
         g.finish();
     }
 
-    // (b) Full Table-2 sweep, serial vs parallel, best of N.
+    // (b) Full Table-2 sweep at the host's parallelism, best of N. On a
+    // multi-core host the serial sweep runs too and the recorded speedup
+    // compares the two (rows must be bit-identical); on a single-CPU
+    // host `jobs == 1` *is* the serial path, so no comparison is staged
+    // and no fictitious "speedup" is recorded.
     let time_sweep = |jobs: usize| {
         let mut best = Duration::MAX;
         let mut result = None;
@@ -106,20 +120,40 @@ fn bench(c: &mut Criterion) {
             best = best.min(start.elapsed());
             result = Some(r);
         }
-        (best, result.expect("three sweeps ran"))
+        (best, result.expect("at least one sweep ran"))
     };
-    let (serial_time, serial_rows) = time_sweep(1);
     let jobs = default_jobs();
-    let (parallel_time, parallel_rows) = time_sweep(jobs);
-    assert_eq!(
-        serial_rows, parallel_rows,
-        "parallel sweep must be bit-identical to serial"
-    );
-    let speedup = serial_time.as_secs_f64() / parallel_time.as_secs_f64();
-    eprintln!(
-        "table2 sweep: serial {serial_time:.2?}, parallel {parallel_time:.2?} \
-         ({jobs} jobs) -> {speedup:.2}x, rows bit-identical"
-    );
+    let sweep_json = if jobs <= 1 {
+        let (serial_time, _) = time_sweep(1);
+        eprintln!("table2 sweep: serial {serial_time:.2?} (single-CPU host, no parallel run)");
+        format!(
+            "{{\n    \"serial_ms\": {:.1},\n    \"jobs\": 1,\n    \
+             \"note\": \"single-CPU host: parallel path identical to serial, \
+             no speedup measured\"\n  }}",
+            serial_time.as_secs_f64() * 1e3,
+        )
+    } else {
+        let (serial_time, serial_rows) = time_sweep(1);
+        let (parallel_time, parallel_rows) = time_sweep(jobs);
+        assert_eq!(
+            serial_rows, parallel_rows,
+            "parallel sweep must be bit-identical to serial"
+        );
+        let speedup = serial_time.as_secs_f64() / parallel_time.as_secs_f64();
+        eprintln!(
+            "table2 sweep: serial {serial_time:.2?}, parallel {parallel_time:.2?} \
+             ({jobs} jobs) -> {speedup:.2}x, rows bit-identical"
+        );
+        format!(
+            "{{\n    \"serial_ms\": {:.1},\n    \"parallel_ms\": {:.1},\n    \
+             \"jobs\": {},\n    \"speedup\": {:.2},\n    \
+             \"bit_identical\": true\n  }}",
+            serial_time.as_secs_f64() * 1e3,
+            parallel_time.as_secs_f64() * 1e3,
+            jobs,
+            speedup,
+        )
+    };
 
     // (c) Machine-readable baseline.
     let mut cases = String::new();
@@ -145,17 +179,11 @@ fn bench(c: &mut Criterion) {
         ));
     }
     let json = format!(
-        "{{\n  \"schema\": \"simcore-baseline-v1\",\n  \"host_cpus\": {},\n  \
-         \"cases\": [\n{}\n  ],\n  \"table2_sweep\": {{\n    \
-         \"serial_ms\": {:.1},\n    \"parallel_ms\": {:.1},\n    \
-         \"jobs\": {},\n    \"speedup\": {:.2},\n    \
-         \"bit_identical\": true\n  }}\n}}\n",
+        "{{\n  \"schema\": \"simcore-baseline-v2\",\n  \"host_cpus\": {},\n  \
+         \"cases\": [\n{}\n  ],\n  \"table2_sweep\": {}\n}}\n",
         default_jobs(),
         cases,
-        serial_time.as_secs_f64() * 1e3,
-        parallel_time.as_secs_f64() * 1e3,
-        jobs,
-        speedup,
+        sweep_json,
     );
     std::fs::write(BASELINE_PATH, &json).expect("write BENCH_simcore.json");
     eprintln!("wrote {BASELINE_PATH}");

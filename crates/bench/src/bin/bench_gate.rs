@@ -2,22 +2,30 @@
 //!
 //! Compares two `BENCH_simcore.json` documents (the committed baseline
 //! and a freshly measured one) and exits non-zero if any shared case's
-//! `sim_cycles_per_sec` dropped by more than the limit:
+//! `sim_cycles_per_sec` dropped by more than the limit, or if a case
+//! fails an absolute throughput floor:
 //!
 //! ```sh
 //! git show HEAD:BENCH_simcore.json > /tmp/baseline.json
 //! PC_BENCH_QUICK=1 cargo bench -p pc-bench --bench simcore
 //! cargo run -p pc-bench --bin bench_gate -- \
 //!     --baseline /tmp/baseline.json --current BENCH_simcore.json \
-//!     --max-regress-pct 25
+//!     --max-regress-pct 25 --min-cps /Coupled=150000
 //! ```
+//!
+//! `--min-cps PATTERN=N` (repeatable) requires every current case whose
+//! id ends with `PATTERN` to sustain at least `N` simulated cycles per
+//! second — an absolute floor that, unlike the relative gate, cannot be
+//! eroded by a slow drift of the committed baseline.
 
-use pc_bench::{parse_baseline, regressions, BaselineCase};
+use pc_bench::{floor_violations, parse_baseline, regressions, BaselineCase};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench_gate --baseline FILE --current FILE [--max-regress-pct N]\n\
-         exits 1 when any case in FILE(baseline) regressed by more than N% (default 25)"
+        "usage: bench_gate --baseline FILE --current FILE [--max-regress-pct N] \
+         [--min-cps PATTERN=N]...\n\
+         exits 1 when any case in FILE(baseline) regressed by more than N% (default 25)\n\
+         or any current case ending with PATTERN is below N sim cycles/sec"
     );
     std::process::exit(2);
 }
@@ -26,6 +34,15 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Every value of a repeatable flag, in command-line order.
+fn flag_values(args: &[String], flag: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == flag)
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect()
 }
 
 fn load(path: &str) -> Vec<BaselineCase> {
@@ -50,6 +67,16 @@ fn main() {
     let limit: f64 = flag_value(&args, "--max-regress-pct")
         .map(|s| s.parse().unwrap_or_else(|_| usage()))
         .unwrap_or(25.0);
+    let floors: Vec<(String, f64)> = flag_values(&args, "--min-cps")
+        .into_iter()
+        .map(|s| {
+            let Some((pattern, min)) = s.split_once('=') else {
+                usage()
+            };
+            let min: f64 = min.parse().unwrap_or_else(|_| usage());
+            (pattern.to_string(), min)
+        })
+        .collect();
 
     let baseline = load(&baseline_path);
     let current = load(&current_path);
@@ -79,9 +106,18 @@ fn main() {
         }
     }
 
-    let failures = regressions(&baseline, &current, limit);
+    let mut failures = regressions(&baseline, &current, limit);
+    failures.extend(floor_violations(&current, &floors));
     if failures.is_empty() {
-        println!("bench_gate: ok — no case regressed more than {limit:.0}%");
+        if floors.is_empty() {
+            println!("bench_gate: ok — no case regressed more than {limit:.0}%");
+        } else {
+            println!(
+                "bench_gate: ok — no case regressed more than {limit:.0}% \
+                 and all {} floor(s) hold",
+                floors.len()
+            );
+        }
     } else {
         for f in &failures {
             eprintln!("bench_gate: FAIL {f}");

@@ -121,6 +121,35 @@ pub fn regressions(
     failures
 }
 
+/// Checks absolute throughput floors: every case whose id **ends with**
+/// `pattern` must clear `min` simulated cycles per second. Suffix
+/// matching lets `/Coupled` cover all plain Coupled cases without
+/// catching derived ids like `.../Coupled/profiled`. A pattern matching
+/// no case at all is itself a failure — a silent typo would gate
+/// nothing.
+pub fn floor_violations(current: &[BaselineCase], floors: &[(String, f64)]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (pattern, min) in floors {
+        let mut matched = false;
+        for c in current {
+            if !c.id.ends_with(pattern.as_str()) {
+                continue;
+            }
+            matched = true;
+            if c.sim_cycles_per_sec < *min {
+                failures.push(format!(
+                    "{}: sim_cycles_per_sec {:.0} below floor {min:.0}",
+                    c.id, c.sim_cycles_per_sec
+                ));
+            }
+        }
+        if !matched {
+            failures.push(format!("floor {pattern}={min:.0}: no case matches"));
+        }
+    }
+    failures
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +192,37 @@ mod tests {
         assert_eq!(fails.len(), 1, "{fails:?}");
         assert!(fails[0].contains("Matrix/Coupled"), "{}", fails[0]);
         assert!(fails[0].contains("50.0% regression"), "{}", fails[0]);
+    }
+
+    #[test]
+    fn floors_flag_cases_below_the_minimum() {
+        let cases = parse_baseline(SAMPLE).unwrap();
+        // Matrix/Coupled sits at 123036 in the fixture.
+        let floors = vec![("/Coupled".to_string(), 200_000.0)];
+        let fails = floor_violations(&cases, &floors);
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("Matrix/Coupled"), "{}", fails[0]);
+        assert!(fails[0].contains("below floor 200000"), "{}", fails[0]);
+        let ok = floor_violations(&cases, &[("/Coupled".to_string(), 100_000.0)]);
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn floors_match_by_suffix_and_reject_unmatched_patterns() {
+        let mut cases = parse_baseline(SAMPLE).unwrap();
+        cases.push(BaselineCase {
+            id: "simcore/Matrix/Coupled/profiled".to_string(),
+            mean_ns: 1,
+            cycles_per_run: 1,
+            sim_cycles_per_sec: 1.0, // far below any floor
+        });
+        // `/Coupled` must not catch the `/profiled` derived id.
+        let fails = floor_violations(&cases, &[("/Coupled".to_string(), 100_000.0)]);
+        assert!(fails.is_empty(), "{fails:?}");
+        // An unmatched pattern is an error, not a silent pass.
+        let fails = floor_violations(&cases, &[("/NoSuchMode".to_string(), 1.0)]);
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("no case matches"), "{}", fails[0]);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! is unavailable offline; scoped threads and a shared work index cover
 //! the need.)
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -32,7 +33,10 @@ pub fn default_jobs() -> usize {
 /// Matrix run — balances automatically.
 ///
 /// # Panics
-/// Propagates a panic from `f` after all workers finish.
+/// Re-raises the panic of the **lowest-indexed** panicking item — with
+/// its original payload — after all workers finish, mirroring
+/// [`try_par_map`]'s deterministic error choice. Other items still run
+/// to completion (no cancellation).
 pub fn par_map<I, O, F>(items: &[I], jobs: usize, f: F) -> Vec<O>
 where
     I: Sync,
@@ -44,7 +48,7 @@ where
         return items.iter().map(f).collect();
     }
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, O)>();
+    let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<O>)>();
     std::thread::scope(|s| {
         for _ in 0..jobs {
             let tx = tx.clone();
@@ -53,15 +57,37 @@ where
             s.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
-                if tx.send((i, f(item))).is_err() {
+                // A panicking item must not tear down the scope with a
+                // payload-less "scoped thread panicked": the payload is
+                // caught, shipped to the caller's thread, and re-raised
+                // there once every worker has drained its share.
+                if tx
+                    .send((i, catch_unwind(AssertUnwindSafe(|| f(item)))))
+                    .is_err()
+                {
                     break;
                 }
             });
         }
         drop(tx);
         let mut slots: Vec<Option<O>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+        let mut first_panic: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
         for (i, out) in rx {
-            slots[i] = Some(out);
+            match out {
+                Ok(v) => slots[i] = Some(v),
+                Err(payload) => {
+                    let lowest = match &first_panic {
+                        None => true,
+                        Some((j, _)) => i < *j,
+                    };
+                    if lowest {
+                        first_panic = Some((i, payload));
+                    }
+                }
+            }
+        }
+        if let Some((_, payload)) = first_panic {
+            resume_unwind(payload);
         }
         slots
             .into_iter()
@@ -152,5 +178,65 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_reaches_the_caller_with_its_payload() {
+        let items: Vec<u32> = (0..32).collect();
+        let survivors = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_map(&items, 4, |&x| {
+                if x == 13 {
+                    panic!("boom at {x}");
+                }
+                survivors.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+        }));
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<String>().expect("formatted payload");
+        assert_eq!(msg, "boom at 13");
+        // No cancellation: every other item still ran.
+        assert_eq!(survivors.load(Ordering::Relaxed), items.len() - 1);
+    }
+
+    #[test]
+    fn panic_choice_is_the_lowest_indexed_item() {
+        let items: Vec<u32> = (0..32).collect();
+        // Items 5 and 20 both panic; 5 must win even when 20 finishes
+        // first on the wall clock.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_map(&items, 8, |&x| {
+                if x == 5 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    panic!("low");
+                }
+                if x == 20 {
+                    panic!("high");
+                }
+                x
+            })
+        }));
+        let payload = result.unwrap_err();
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"low"));
+    }
+
+    #[test]
+    fn try_par_map_survivors_keep_input_order_alongside_a_panic() {
+        // A panic in one item and errors in others must not disturb the
+        // deterministic Ok ordering of an unaffected run of the same
+        // shape (the grid sweeps rely on this for bit-identical output).
+        let items: Vec<u32> = (0..32).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            try_par_map(&items, 4, |&x| {
+                if x == 9 {
+                    panic!("nine");
+                }
+                Ok::<_, ()>(x)
+            })
+        }));
+        assert_eq!(result.unwrap_err().downcast_ref::<&str>(), Some(&"nine"));
+        let clean: Vec<u32> = try_par_map(&items, 4, |&x| Ok::<_, ()>(x)).unwrap();
+        assert_eq!(clean, items);
     }
 }

@@ -144,6 +144,31 @@ impl Interconnect {
         self.scheme
     }
 
+    /// True when this scheme can never deny a request (Full
+    /// connectivity): arbitration degenerates to counting grants, which
+    /// callers may exploit via
+    /// [`Interconnect::record_uncontended_grants`].
+    pub fn contention_free(&self) -> bool {
+        self.scheme == InterconnectScheme::Full
+    }
+
+    /// Records `n` granted writes (`remote` of them cross-cluster)
+    /// without per-request arbitration. Only meaningful when
+    /// [`Interconnect::contention_free`]: the accounting then matches
+    /// what per-request arbitration of the same batch would accumulate.
+    ///
+    /// # Panics
+    /// Debug-panics when the scheme is not contention-free (granting
+    /// without arbitration would misreport denials).
+    pub fn record_uncontended_grants(&mut self, n: u64, remote: u64) {
+        debug_assert!(
+            self.contention_free(),
+            "bulk grants are only valid for contention-free schemes"
+        );
+        self.stats.grants += n;
+        self.stats.remote_grants += remote;
+    }
+
     /// `(total ports, bused ports)` per register file, or `None` for
     /// unlimited (Full).
     fn budget(&self) -> Option<(u32, u32)> {
@@ -300,6 +325,18 @@ mod tests {
         assert!(net.arbitrate(&reqs).into_iter().all(|g| g));
         assert_eq!(net.stats().denials, 0);
         assert_eq!(net.stats().grants, 16);
+    }
+
+    #[test]
+    fn uncontended_bulk_grants_match_arbitration() {
+        let mut arbitrated = Interconnect::new(InterconnectScheme::Full, 4);
+        let mut bulk = Interconnect::new(InterconnectScheme::Full, 4);
+        let reqs = vec![req(0, 0), req(0, 2), req(3, 1)];
+        assert!(arbitrated.arbitrate(&reqs).into_iter().all(|g| g));
+        bulk.record_uncontended_grants(3, 2);
+        assert_eq!(arbitrated.stats(), bulk.stats());
+        assert!(bulk.contention_free());
+        assert!(!Interconnect::new(InterconnectScheme::SinglePort, 4).contention_free());
     }
 
     #[test]

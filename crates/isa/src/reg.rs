@@ -61,6 +61,13 @@ pub enum Operand {
     ImmFloat(f64),
 }
 
+impl Default for Operand {
+    /// The zero integer immediate (filler for compact operand storage).
+    fn default() -> Self {
+        Operand::ImmInt(0)
+    }
+}
+
 impl Operand {
     /// The register read by this operand, if any.
     pub fn reg(&self) -> Option<RegId> {

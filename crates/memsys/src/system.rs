@@ -91,6 +91,10 @@ pub struct MemorySystem {
     seq: u64,
     /// Next free cycle per interleaved bank (empty = no bank conflicts).
     bank_free: Vec<u64>,
+    /// Exact minimum `ready` cycle over `in_flight` (`u64::MAX` when
+    /// empty): min-updated on submit, recomputed whenever a tick drains
+    /// references. Lets an idle tick return without scanning.
+    next_ready: u64,
     /// Scratch for [`MemorySystem::tick_into`]'s due-reference pass,
     /// retained across cycles so the steady state never allocates.
     tick_due: Vec<InFlight>,
@@ -112,6 +116,7 @@ impl MemorySystem {
             stats: MemStats::default(),
             seq: 0,
             bank_free: vec![0; model.banks as usize],
+            next_ready: u64::MAX,
             tick_due: Vec::new(),
             record_events: false,
             events: Vec::new(),
@@ -159,6 +164,7 @@ impl MemorySystem {
             ready: start + lat,
             seq: self.seq,
         });
+        self.next_ready = self.next_ready.min(start + lat);
         self.seq += 1;
         let outstanding =
             self.in_flight.len() + self.parked.values().map(VecDeque::len).sum::<usize>();
@@ -186,6 +192,12 @@ impl MemorySystem {
     /// Propagates [`MemError::OutOfBounds`] for wild addresses.
     pub fn tick_into(&mut self, now: u64, done: &mut Vec<MemCompletion>) -> Result<(), MemError> {
         done.clear();
+        // Nothing in flight is due (parked references only ever complete
+        // through another reference's attempt, which needs a due one):
+        // the scan below would move nothing and touch no state.
+        if self.next_ready > now {
+            return Ok(());
+        }
         // Stable in-place partition: due references move to the scratch
         // buffer, the rest compact to the front. `in_flight` is pushed in
         // submission order and partitioning is stable, so both halves stay
@@ -202,6 +214,12 @@ impl MemorySystem {
             }
         }
         self.in_flight.truncate(keep);
+        self.next_ready = self
+            .in_flight
+            .iter()
+            .map(|f| f.ready)
+            .min()
+            .unwrap_or(u64::MAX);
         debug_assert!(due.windows(2).all(|w| w[0].seq < w[1].seq));
 
         for f in &due {
@@ -346,6 +364,23 @@ impl MemorySystem {
     /// Number of references in flight (latency not yet elapsed).
     pub fn in_flight_count(&self) -> usize {
         self.in_flight.len()
+    }
+
+    /// The earliest cycle at which an in-flight reference's latency
+    /// elapses (`None` when nothing is in flight). Parked references
+    /// never complete without another completion waking them first, so
+    /// this is the memory system's next externally visible event — the
+    /// simulator's bulk idle-skip horizon.
+    pub fn next_ready_cycle(&self) -> Option<u64> {
+        debug_assert_eq!(
+            self.next_ready,
+            self.in_flight
+                .iter()
+                .map(|f| f.ready)
+                .min()
+                .unwrap_or(u64::MAX)
+        );
+        (self.next_ready != u64::MAX).then_some(self.next_ready)
     }
 
     /// True when no reference is in flight or parked.

@@ -27,6 +27,7 @@ pub(crate) enum InlineVec<T: Copy + Default, const N: usize> {
 
 impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
     /// An empty vector (allocation-free).
+    #[inline]
     pub(crate) fn new() -> Self {
         InlineVec::Inline {
             len: 0,
@@ -35,6 +36,7 @@ impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
     }
 
     /// Copies a slice (allocation-free when `src.len() <= N`).
+    #[inline]
     pub(crate) fn from_slice(src: &[T]) -> Self {
         if src.len() <= N {
             let mut buf = [T::default(); N];
@@ -49,6 +51,7 @@ impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
     }
 
     /// Appends an element, spilling to the heap past `N`.
+    #[inline]
     pub(crate) fn push(&mut self, v: T) {
         match self {
             InlineVec::Inline { len, buf } => {
@@ -70,6 +73,7 @@ impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
     ///
     /// # Panics
     /// Panics if `i >= len`.
+    #[inline]
     pub(crate) fn remove(&mut self, i: usize) -> T {
         match self {
             InlineVec::Inline { len, buf } => {
@@ -85,6 +89,7 @@ impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
     }
 
     /// The valid elements as a slice.
+    #[inline]
     pub(crate) fn as_slice(&self) -> &[T] {
         match self {
             InlineVec::Inline { len, buf } => &buf[..*len as usize],
@@ -93,6 +98,7 @@ impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
     }
 
     /// Number of elements.
+    #[inline]
     pub(crate) fn len(&self) -> usize {
         match self {
             InlineVec::Inline { len, .. } => *len as usize,
@@ -101,17 +107,20 @@ impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
     }
 
     /// True when no elements are stored.
+    #[inline]
     pub(crate) fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
     /// Iterates over the valid elements.
+    #[inline]
     pub(crate) fn iter(&self) -> std::slice::Iter<'_, T> {
         self.as_slice().iter()
     }
 }
 
 impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    #[inline]
     fn default() -> Self {
         Self::new()
     }
@@ -120,6 +129,7 @@ impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
 impl<T: Copy + Default, const N: usize> std::ops::Deref for InlineVec<T, N> {
     type Target = [T];
 
+    #[inline]
     fn deref(&self) -> &[T] {
         self.as_slice()
     }
@@ -129,12 +139,14 @@ impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N>
     type Item = &'a T;
     type IntoIter = std::slice::Iter<'a, T>;
 
+    #[inline]
     fn into_iter(self) -> Self::IntoIter {
         self.iter()
     }
 }
 
 impl<T: Copy + Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    #[inline]
     fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
         let mut out = Self::new();
         for v in iter {

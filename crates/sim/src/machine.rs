@@ -4,7 +4,7 @@
 use crate::error::SimError;
 use crate::inline_vec::InlineVec;
 use crate::probe::{Probe, ProbeEvent, StallCause};
-use crate::regfile::RegFileSet;
+use crate::regfile::{bit_layout, MaskWord, RegFileSet};
 use crate::stats::{ProbeRecord, RunStats, StallTable};
 use crate::thread::{Thread, ThreadId, ThreadState};
 use pc_isa::{
@@ -15,12 +15,253 @@ use pc_memsys::{MemCompletion, MemEvent, MemorySystem, RequestKind};
 use pc_xconn::{Interconnect, PortDecision, WriteReq};
 use std::fmt;
 use std::mem;
+use std::sync::Arc;
 
 /// Source values of an in-flight operation (every ALU/memory op has at
 /// most three; only wide `fork` argument lists spill).
 type ValList = InlineVec<Value, 4>;
 /// Destination registers of one result (rarely more than a couple).
 type RegList = InlineVec<RegId, 4>;
+/// Packed operand mask of one slot: `(word, bits)` pairs under the
+/// segment's [`bit_layout`] (an op's few operands rarely span words).
+type MaskList = InlineVec<MaskWord, 3>;
+/// Copied source operands of one slot (fork argument lists spill).
+type SrcList = InlineVec<pc_isa::Operand, 4>;
+
+/// An address operand of a memory slot, precomputed so the ordering
+/// check never touches the program's [`Operation`] (`ImmFloat` folds to
+/// 0, exactly as [`Machine::readiness`] evaluates it).
+#[derive(Debug, Clone, Copy)]
+enum AddrOperand {
+    Reg(RegId),
+    Imm(i64),
+}
+
+/// The memory-consistency rule a slot must additionally satisfy, mirrored
+/// from the `OpKind` match inside [`Machine::readiness`] so the readiness
+/// cache can grade ordered slots without dereferencing the program (the
+/// differential tests pin the two forms to each other).
+#[derive(Debug, Clone, Copy)]
+enum OrderRule {
+    /// Plain ALU/branch slot: register readiness is the whole story.
+    None,
+    /// Synchronizing store or `fork`: fences on all outstanding traffic.
+    FenceAll,
+    /// Synchronizing load: fences on outstanding *stores* only.
+    FenceStores,
+    /// Plain load/store: same-address hazard against outstanding traffic.
+    Hazard {
+        base: AddrOperand,
+        off: AddrOperand,
+        is_store: bool,
+    },
+}
+
+/// What issuing and completing a slot does — the hot-path projection of
+/// its [`OpKind`], so neither path has to dereference the program (branch
+/// *resolution* still reads the program for the full [`BranchOp`]).
+#[derive(Debug, Clone, Copy)]
+enum SlotAction {
+    Int(pc_isa::IntOp),
+    Float(pc_isa::FloatOp),
+    Mem(MemOp),
+    /// Completes at issue; records a [`ProbeRecord`] with this id.
+    Probe(u32),
+    /// Any other control transfer: enters the branch pipeline.
+    Branch,
+}
+
+/// Precomputed issue metadata of one static slot, so the per-cycle
+/// readiness check is a handful of mask operations (see
+/// [`Machine::refresh_ready`]) and issue/completion never touch the
+/// program.
+#[derive(Debug, Clone)]
+struct SlotMeta {
+    /// The unit the slot is bound to.
+    fu: FuId,
+    /// Source-register presence mask.
+    src: MaskList,
+    /// Destination-scoreboard mask.
+    dst: MaskList,
+    /// Union of `src` and `dst` — the registers whose writebacks can
+    /// change this slot's grade ([`Machine::update_ready_after_write`]
+    /// walks one list instead of two).
+    touch: MaskList,
+    /// Memory-ordering rule beyond register readiness.
+    order: OrderRule,
+    /// Units of sibling slots whose readiness this slot's issue can
+    /// destroy: those reading or writing a register this slot writes.
+    /// After a clean thread issues, only these (plus ordered slots, for
+    /// memory issues) need re-grading — see
+    /// [`Machine::update_ready_after_issue`]. Units ≥ 64 are omitted
+    /// (the event engine is disabled there anyway).
+    kills: u64,
+    /// The operation's source operands (copied out of the program).
+    srcs: SrcList,
+    /// The operation's destination registers (copied out of the program).
+    dsts: RegList,
+    /// Hot-path projection of the operation's kind.
+    action: SlotAction,
+}
+
+/// Issue metadata of one instruction row.
+#[derive(Debug, Clone)]
+struct RowMeta {
+    /// Parallel to `row.slots()`.
+    slots: Vec<SlotMeta>,
+    /// Slot index bound to each unit (`u16::MAX` = none). Unique because
+    /// [`validate_program`] forbids two slots of a row on the same unit.
+    slot_of_unit: Box<[u16]>,
+    /// Units (< 64) of slots carrying an [`OrderRule`] other than `None`
+    /// — the slots a memory issue can unready.
+    ordered_units: u64,
+}
+
+/// Issue metadata of one code segment (parallel to `Program::segments`).
+#[derive(Debug, Clone)]
+struct SegMeta {
+    rows: Vec<RowMeta>,
+    /// Per-cluster base of the segment's packed register-bit layout
+    /// (see [`bit_layout`]) — maps a written [`RegId`] back to its
+    /// scoreboard bit for targeted readiness repair.
+    base: Vec<u32>,
+}
+
+/// Merges register `r`'s bit into a packed mask list.
+fn push_mask_bit(list: &mut Vec<MaskWord>, base: &[u32], r: RegId) {
+    let bit = (base[r.cluster.0 as usize] + r.index) as usize;
+    let key = (bit / 64) as u32;
+    let m = 1u64 << (bit % 64);
+    for e in list.iter_mut() {
+        if e.0 == key {
+            e.1 |= m;
+            return;
+        }
+    }
+    list.push((key, m));
+}
+
+/// Precomputes per-slot operand masks and per-row unit→slot maps for a
+/// whole program.
+fn build_code_meta(program: &Program, config: &MachineConfig) -> Vec<SegMeta> {
+    let n_units = config.units().len();
+    let mut scratch: Vec<MaskWord> = Vec::new();
+    program
+        .segments
+        .iter()
+        .map(|seg| {
+            let (base, _) = bit_layout(&seg.regs_per_cluster, config.clusters().len());
+            let rows = seg
+                .rows
+                .iter()
+                .map(|row| {
+                    let mut slot_of_unit = vec![u16::MAX; n_units].into_boxed_slice();
+                    let mut slots: Vec<SlotMeta> = row
+                        .slots()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, (fu, op))| {
+                            slot_of_unit[fu.0 as usize] = i as u16;
+                            scratch.clear();
+                            for r in op.src_regs() {
+                                push_mask_bit(&mut scratch, &base, r);
+                            }
+                            let src: MaskList = scratch.iter().copied().collect();
+                            scratch.clear();
+                            for d in &op.dsts {
+                                push_mask_bit(&mut scratch, &base, *d);
+                            }
+                            let dst: MaskList = scratch.iter().copied().collect();
+                            // `scratch` still holds the dst bits; merging the
+                            // src bits on top yields the union.
+                            for r in op.src_regs() {
+                                push_mask_bit(&mut scratch, &base, r);
+                            }
+                            let touch: MaskList = scratch.iter().copied().collect();
+                            let addr_operand = |o: &pc_isa::Operand| match o {
+                                pc_isa::Operand::Reg(r) => AddrOperand::Reg(*r),
+                                pc_isa::Operand::ImmInt(v) => AddrOperand::Imm(*v),
+                                // `readiness` evaluates a float immediate
+                                // address operand as 0.
+                                pc_isa::Operand::ImmFloat(_) => AddrOperand::Imm(0),
+                            };
+                            let order = match &op.kind {
+                                OpKind::Mem(MemOp::Store(fl))
+                                    if *fl != pc_isa::StoreFlavor::Plain =>
+                                {
+                                    OrderRule::FenceAll
+                                }
+                                OpKind::Mem(MemOp::Load(fl))
+                                    if *fl != pc_isa::LoadFlavor::Plain =>
+                                {
+                                    OrderRule::FenceStores
+                                }
+                                OpKind::Mem(m) => OrderRule::Hazard {
+                                    base: addr_operand(&op.srcs[0]),
+                                    off: addr_operand(&op.srcs[1]),
+                                    is_store: matches!(m, MemOp::Store(_)),
+                                },
+                                OpKind::Branch(BranchOp::Fork { .. }) => OrderRule::FenceAll,
+                                _ => OrderRule::None,
+                            };
+                            let action = match &op.kind {
+                                OpKind::Int(i) => SlotAction::Int(*i),
+                                OpKind::Float(f) => SlotAction::Float(*f),
+                                OpKind::Mem(m) => SlotAction::Mem(*m),
+                                OpKind::Branch(BranchOp::Probe { id }) => SlotAction::Probe(*id),
+                                OpKind::Branch(_) => SlotAction::Branch,
+                            };
+                            SlotMeta {
+                                fu: *fu,
+                                src,
+                                dst,
+                                touch,
+                                order,
+                                kills: 0,
+                                srcs: op.srcs.iter().copied().collect(),
+                                dsts: RegList::from_slice(&op.dsts),
+                                action,
+                            }
+                        })
+                        .collect();
+                    // Second pass: which sibling units each slot's issue can
+                    // unready (write-after-read and write-after-write on the
+                    // scoreboard), and which units carry ordering rules.
+                    let mut ordered_units = 0u64;
+                    for s in &slots {
+                        if !matches!(s.order, OrderRule::None) && s.fu.0 < 64 {
+                            ordered_units |= 1u64 << s.fu.0;
+                        }
+                    }
+                    let masks_intersect = |a: &[MaskWord], b: &[MaskWord]| {
+                        a.iter()
+                            .any(|&(ka, ma)| b.iter().any(|&(kb, mb)| ka == kb && ma & mb != 0))
+                    };
+                    for s in 0..slots.len() {
+                        let mut kills = 0u64;
+                        for (i, other) in slots.iter().enumerate() {
+                            if i == s || other.fu.0 >= 64 {
+                                continue;
+                            }
+                            if masks_intersect(&slots[s].dst, &other.src)
+                                || masks_intersect(&slots[s].dst, &other.dst)
+                            {
+                                kills |= 1u64 << other.fu.0;
+                            }
+                        }
+                        slots[s].kills = kills;
+                    }
+                    RowMeta {
+                        slots,
+                        slot_of_unit,
+                        ordered_units,
+                    }
+                })
+                .collect();
+            SegMeta { rows, base }
+        })
+        .collect()
+}
 
 /// An operation in a function unit's execution pipeline.
 ///
@@ -214,7 +455,15 @@ impl fmt::Debug for Obs {
 #[derive(Debug)]
 pub struct Machine {
     config: MachineConfig,
-    program: Program,
+    program: Arc<Program>,
+    /// Precomputed issue metadata, parallel to `program.segments`.
+    code: Vec<SegMeta>,
+    /// Issue via the scan-every-cycle reference engine instead of the
+    /// event-driven readiness cache (also disables bulk idle skipping).
+    /// Forced when the configuration has more than 64 units — the
+    /// readiness cache is a u64 bitmask. See
+    /// [`Machine::use_reference_engine`].
+    scan_engine: bool,
     threads: Vec<Thread>,
     /// Ids of non-halted threads, in spawn order (iteration hot path).
     live: Vec<u32>,
@@ -222,14 +471,22 @@ pub struct Machine {
     mem: MemorySystem,
     xconn: Interconnect,
     pipes: Vec<Vec<Exec>>,
+    /// Exact earliest `done` cycle per pipe (`u64::MAX` when empty):
+    /// min-updated on push, recomputed when a pipe drains. Lets the
+    /// completion phase skip pipes with nothing due without scanning.
+    pipe_next: Vec<u64>,
     wb_queues: Vec<Vec<Writeback>>,
+    /// Set whenever a thread may become eligible for a row advance or
+    /// control transfer (its row fully issued, a transfer was applied to
+    /// an empty row, or a thread spawned); phase C short-circuits to a
+    /// no-op when clear. Conservative: spurious sets only cost one scan.
+    advance_hint: bool,
     rr: Vec<u32>,
     tokens: TokenTable,
     scratch: Scratch,
     wb_seq: u64,
     cycle: u64,
     ops_issued: u64,
-    ops_by_class: std::collections::BTreeMap<UnitClass, u64>,
     busy_cycles: u64,
     peak_threads: usize,
     probes: Vec<ProbeRecord>,
@@ -244,28 +501,43 @@ impl Machine {
     /// Returns [`SimError::Isa`] when the program fails
     /// [`validate_program`].
     pub fn new(config: MachineConfig, program: Program) -> Result<Self, SimError> {
+        Self::new_shared(config, Arc::new(program))
+    }
+
+    /// Like [`Machine::new`] but sharing an already-compiled program:
+    /// repeated runs of the same code (benchmark iterations, sweep
+    /// points) construct machines without cloning the program.
+    ///
+    /// # Errors
+    /// Returns [`SimError::Isa`] when the program fails
+    /// [`validate_program`].
+    pub fn new_shared(config: MachineConfig, program: Arc<Program>) -> Result<Self, SimError> {
         validate_program(&program, &config)?;
         let n_units = config.units().len();
         let n_clusters = config.clusters().len();
         let mem = MemorySystem::new(config.memory, program.memory_size, config.seed);
         let xconn = Interconnect::new(config.interconnect, n_clusters);
+        let code = build_code_meta(&program, &config);
         let mut m = Machine {
             config,
             program,
+            code,
+            scan_engine: n_units > 64,
             threads: Vec::new(),
             live: Vec::new(),
             transfers: Vec::new(),
             mem,
             xconn,
             pipes: vec![Vec::new(); n_units],
+            pipe_next: vec![u64::MAX; n_units],
             wb_queues: vec![Vec::new(); n_units],
+            advance_hint: true,
             rr: vec![0; n_units],
             tokens: TokenTable::default(),
             scratch: Scratch::default(),
             wb_seq: 0,
             cycle: 0,
             ops_issued: 0,
-            ops_by_class: Default::default(),
             busy_cycles: 0,
             peak_threads: 0,
             probes: Vec::new(),
@@ -345,6 +617,20 @@ impl Machine {
         &mut self.mem
     }
 
+    /// Selects the scan-every-cycle reference issue engine: the original
+    /// O(units × threads × slots) loop, kept as the behavioural oracle
+    /// for the event-driven default (which must match it bit for bit —
+    /// differential tests compare the two). Also disables bulk
+    /// idle-cycle skipping, so every cycle is stepped explicitly.
+    ///
+    /// Passing `false` restores the event-driven engine unless the
+    /// configuration has more than 64 function units, in which case the
+    /// reference engine stays selected (the readiness cache is a u64
+    /// bitmask).
+    pub fn use_reference_engine(&mut self, on: bool) {
+        self.scan_engine = on || self.config.units().len() > 64;
+    }
+
     /// Starts recording one [`crate::trace::TraceEvent`] per issued
     /// operation (for the Figure 1/2-style interleaving diagrams).
     pub fn enable_trace(&mut self) {
@@ -418,7 +704,9 @@ impl Machine {
             if self.cycle >= limit {
                 return Err(SimError::CycleLimit { limit });
             }
-            self.step()?;
+            if !self.step()? {
+                self.skip_idle_span(limit);
+            }
         }
         if let Some(sink) = &mut self.obs.sink {
             sink.finish();
@@ -461,7 +749,20 @@ impl Machine {
         RunStats {
             cycles: self.cycle,
             ops_issued: self.ops_issued,
-            ops_by_class: self.ops_by_class.clone(),
+            ops_by_class: {
+                // Validation pins every slot's op class to its unit's
+                // class, so the per-class counts are the per-unit counts
+                // grouped by unit class — no hot-path map updates needed.
+                let mut by_class = std::collections::BTreeMap::new();
+                for (u, &n) in self.ops_by_unit.iter().enumerate() {
+                    if n != 0 {
+                        *by_class
+                            .entry(self.config.fu(FuId(u as u16)).class)
+                            .or_insert(0) += n;
+                    }
+                }
+                by_class
+            },
             ops_by_thread: self.threads.iter().map(|t| t.ops_issued).collect(),
             ops_by_unit: self.ops_by_unit.clone(),
             threads_spawned: self.threads.len(),
@@ -509,35 +810,37 @@ impl Machine {
         }
         self.threads.push(t);
         self.transfers.push(None);
+        self.advance_hint = true;
         self.peak_threads = self.peak_threads.max(self.live.len());
         Ok(id)
     }
 
-    /// Executes one cycle.
-    fn step(&mut self) -> Result<(), SimError> {
+    /// Executes one cycle. Returns whether anything progressed (an op
+    /// completed, retired, issued, or a thread advanced) — the bulk
+    /// idle-skip in [`Machine::run`] keys off a `false` return.
+    fn step(&mut self) -> Result<bool, SimError> {
         let now = self.cycle;
         let mut progress = false;
 
         // ---- Phase A1: function-unit pipeline completions ----------------
         let mut done = mem::take(&mut self.scratch.exec);
         for fu_idx in 0..self.pipes.len() {
-            let pipe = &mut self.pipes[fu_idx];
-            if pipe.is_empty() {
+            if self.pipe_next[fu_idx] > now {
                 continue;
             }
+            let pipe = &mut self.pipes[fu_idx];
             // Stable in-place partition: completed entries move to the
             // scratch buffer, the rest compact to the front.
             done.clear();
-            let mut keep = 0;
-            for i in 0..pipe.len() {
-                if pipe[i].done <= now {
-                    done.push(pipe[i].clone());
+            pipe.retain(|e| {
+                if e.done <= now {
+                    done.push(e.clone());
+                    false
                 } else {
-                    pipe.swap(keep, i);
-                    keep += 1;
+                    true
                 }
-            }
-            pipe.truncate(keep);
+            });
+            self.pipe_next[fu_idx] = pipe.iter().map(|e| e.done).min().unwrap_or(u64::MAX);
             for e in done.drain(..) {
                 progress = true;
                 self.complete_exec(FuId(fu_idx as u16), e)?;
@@ -553,9 +856,10 @@ impl Machine {
             let Some((tok, dsts)) = self.tokens.remove(c.id) else {
                 return Err(SimError::UnknownToken { token: c.id });
             };
-            self.threads[tok.thread.0 as usize]
-                .outstanding_mem
-                .retain(|&(t, _, _)| t != c.id);
+            let th = &mut self.threads[tok.thread.0 as usize];
+            th.outstanding_mem.retain(|&(t, _, _)| t != c.id);
+            // Draining outstanding traffic can unfence ordered slots.
+            self.update_ready_after_mem_drain(tok.thread.0 as usize);
             if tok.is_load {
                 let Some(value) = c.value else {
                     return Err(SimError::MissingLoadValue { token: c.id });
@@ -597,7 +901,82 @@ impl Machine {
                 parked: self.mem.parked_count(),
             });
         }
-        Ok(())
+        Ok(progress)
+    }
+
+    /// After a no-progress cycle, jumps the clock straight to the next
+    /// cycle where anything can happen — the earliest pipeline or
+    /// memory-system completion.
+    ///
+    /// Only taken when every writeback queue is empty and no event sink
+    /// is attached: the machine state is then frozen over the span (no
+    /// completion, no retirement, and re-evaluating issue on identical
+    /// inputs issues nothing — the opening cycle proved that), so each
+    /// skipped cycle would have replayed the same non-event. Stall
+    /// attribution is charged retroactively for the whole span with the
+    /// causes the per-cycle engine would have recorded, preserving
+    /// `alive == busy + Σcauses`. The jump is capped at `limit` so
+    /// [`SimError::CycleLimit`] fires at the same cycle with the same
+    /// attribution as under per-cycle stepping.
+    fn skip_idle_span(&mut self, limit: u64) {
+        if self.scan_engine || self.obs.sink.is_some() {
+            // The reference engine steps every cycle by definition, and
+            // sinks receive per-cycle stall events.
+            return;
+        }
+        if self.wb_queues.iter().any(|q| !q.is_empty()) {
+            // Queued writes may retire next cycle under a restricted
+            // scheme; state is not frozen.
+            return;
+        }
+        let next_pipe = self
+            .pipe_next
+            .iter()
+            .copied()
+            .filter(|&c| c != u64::MAX)
+            .min();
+        let next = match (next_pipe, self.mem.next_ready_cycle()) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) | (None, Some(a)) => a,
+            // No future event: the step that opened the span either
+            // already reported a deadlock or the machine is finished.
+            (None, None) => return,
+        };
+        let target = next.min(limit);
+        if target <= self.cycle {
+            return;
+        }
+        let span = target - self.cycle;
+        if self.obs.profiling {
+            self.attribute_span(span);
+        }
+        self.cycle = target;
+    }
+
+    /// Retroactive stall attribution for a skipped idle span (profiled
+    /// runs only): the state is frozen, so each thread's stall cause is
+    /// identical on every cycle of the span and can be charged in one
+    /// call. No thread issued on the cycle that opened the span, so
+    /// every charge is a stall, never busy.
+    fn attribute_span(&mut self, span: u64) {
+        for idx in 0..self.live.len() {
+            let ti = self.live[idx];
+            let t = &self.threads[ti as usize];
+            if t.state != ThreadState::Running {
+                continue;
+            }
+            let (cause, class, at) = self.stall_reason(t);
+            self.obs
+                .stalls
+                .record_stall_thread_n(ti, cause, class, span);
+            match at {
+                Some((seg, row, slot)) => {
+                    let base = self.obs.slot_base[seg as usize][row as usize];
+                    self.obs.stalled_dense[base as usize + slot as usize][cause.index()] += span;
+                }
+                None => self.obs.stalls.unattributed[cause.index()] += span,
+            }
+        }
     }
 
     /// True when latent in-flight work guarantees progress on a later
@@ -701,7 +1080,7 @@ impl Machine {
                 continue;
             }
             let class = self.config.fu(*fu).class;
-            match self.readiness(t, op) {
+            match Self::readiness(t, op) {
                 Readiness::Ready => {
                     // Data-ready but not issued: the unit was
                     // backpressured by its writeback buffer, or another
@@ -774,24 +1153,29 @@ impl Machine {
             Write(Value, RegList),
             Branch(BranchOp),
         }
-        // Copy what the mutation below needs out of the program-owned
-        // operation first; `Branch` clones allocate only for `fork`'s
-        // argument list, which is off the steady-state path.
+        // The slot metadata self-contains everything ALU completion needs;
+        // only `Branch` resolution reads the program-owned operation (its
+        // clone allocates only for `fork`'s argument list, which is off
+        // the steady-state path).
         let outcome = {
-            let (_, op) =
-                &self.program.segment(e.seg).rows[e.row as usize].slots()[e.slot as usize];
-            match &op.kind {
-                OpKind::Int(iop) => Outcome::Write(
-                    op::eval_int(*iop, e.vals.as_slice())?,
-                    RegList::from_slice(&op.dsts),
-                ),
-                OpKind::Float(fop) => Outcome::Write(
-                    op::eval_float(*fop, e.vals.as_slice())?,
-                    RegList::from_slice(&op.dsts),
-                ),
-                OpKind::Branch(b) => Outcome::Branch(b.clone()),
-                OpKind::Mem(_) => {
-                    unreachable!("memory ops complete through the memory system")
+            let sm = &self.code[e.seg.0 as usize].rows[e.row as usize].slots[e.slot as usize];
+            match sm.action {
+                SlotAction::Int(iop) => {
+                    Outcome::Write(op::eval_int(iop, e.vals.as_slice())?, sm.dsts.clone())
+                }
+                SlotAction::Float(fop) => {
+                    Outcome::Write(op::eval_float(fop, e.vals.as_slice())?, sm.dsts.clone())
+                }
+                SlotAction::Branch => {
+                    let (_, op) =
+                        &self.program.segment(e.seg).rows[e.row as usize].slots()[e.slot as usize];
+                    match &op.kind {
+                        OpKind::Branch(b) => Outcome::Branch(b.clone()),
+                        _ => unreachable!("SlotAction::Branch indexes a branch op"),
+                    }
+                }
+                SlotAction::Mem(_) | SlotAction::Probe(_) => {
+                    unreachable!("memory ops and probes complete outside the pipelines")
                 }
             }
         };
@@ -830,7 +1214,7 @@ impl Machine {
         // Fast path: when the branch's row has fully issued by resolution
         // time, transfer control immediately so the target row can issue
         // this very cycle (a 1-cycle branch bubble instead of 2).
-        if self.threads[tid.0 as usize].row_fully_issued() {
+        if self.threads[tid.0 as usize].unissued == 0 {
             self.apply_transfer(tid.0 as usize, transfer, self.cycle);
         }
         Ok(())
@@ -850,6 +1234,10 @@ impl Machine {
                 t.ip = target;
                 let n = self.program.segment(self.threads[i].segment).rows[target as usize].len();
                 self.threads[i].enter_row(n);
+                if n == 0 {
+                    // An empty row is eligible to advance again next cycle.
+                    self.advance_hint = true;
+                }
             }
             Transfer::FallThrough => {
                 if t.ip + 1 >= seg_len {
@@ -860,6 +1248,9 @@ impl Machine {
                     let ip = t.ip as usize;
                     let n = self.program.segment(self.threads[i].segment).rows[ip].len();
                     self.threads[i].enter_row(n);
+                    if n == 0 {
+                        self.advance_hint = true;
+                    }
                 }
             }
         }
@@ -889,6 +1280,14 @@ impl Machine {
         // before touching any scratch state.
         if self.wb_queues.iter().all(Vec::is_empty) {
             return false;
+        }
+        // A contention-free interconnect grants every request, so an
+        // unobserved run can skip request flattening, sorting, and
+        // arbitration wholesale. Observed runs keep the explained path
+        // (its per-request decisions feed the sink and the denial
+        // attribution) — both paths produce identical stats.
+        if !self.obs.on && self.xconn.contention_free() {
+            return self.retire_writebacks_uncontended();
         }
         // Gather (queue, entry) pairs oldest-first.
         let mut order = mem::take(&mut self.scratch.wb_order);
@@ -979,6 +1378,8 @@ impl Machine {
             let t = &mut self.threads[thread.0 as usize];
             if t.is_alive() {
                 t.regs.complete_write(dst, value);
+                // Arriving data can make cached-unready slots ready.
+                self.update_ready_after_write(thread.0 as usize, dst);
             }
         }
         for q in &mut self.wb_queues {
@@ -992,19 +1393,263 @@ impl Machine {
         any
     }
 
+    /// Writeback retirement under a contention-free interconnect: every
+    /// request is granted, so apply the queued writes directly — in the
+    /// same order as the arbitrated path: queue index, then entry, then
+    /// destinations last-to-first (its grant application sorts by
+    /// `(queue, entry, Reverse(dst))`) — with identical interconnect
+    /// grant accounting.
+    fn retire_writebacks_uncontended(&mut self) -> bool {
+        let mut grants = 0u64;
+        let mut remote = 0u64;
+        for qi in 0..self.wb_queues.len() {
+            if self.wb_queues[qi].is_empty() {
+                continue;
+            }
+            let mut queue = mem::take(&mut self.wb_queues[qi]);
+            for wb in queue.drain(..) {
+                let src_cluster = self.config.fu(wb.fu).cluster;
+                for di in (0..wb.dsts.len()).rev() {
+                    let d = wb.dsts[di];
+                    grants += 1;
+                    if d.cluster != src_cluster {
+                        remote += 1;
+                    }
+                    let t = &mut self.threads[wb.thread.0 as usize];
+                    if t.is_alive() {
+                        t.regs.complete_write(d, wb.value);
+                        self.update_ready_after_write(wb.thread.0 as usize, d);
+                    }
+                }
+            }
+            // Hand the emptied buffer back so the queue keeps its
+            // capacity across cycles.
+            self.wb_queues[qi] = queue;
+        }
+        self.xconn.record_uncontended_grants(grants, remote);
+        // Queued writebacks always carry at least one destination
+        // (`enqueue_writeback` retires empty results on the spot), and
+        // the caller checked the queues were not all empty, so at least
+        // one write retired.
+        true
+    }
+
     /// Per-unit arbitration and issue. Returns whether any op issued.
     fn issue_all(&mut self, now: u64) -> Result<bool, SimError> {
         if self.config.lockstep_issue {
             return self.issue_all_lockstep(now);
         }
+        if self.scan_engine {
+            return self.issue_all_scan(now);
+        }
+        self.issue_all_event(now)
+    }
+
+    /// Event-driven issue: each thread carries a cached per-unit
+    /// readiness bitmask ([`Thread::ready_units`]), rebuilt lazily when
+    /// an event marks it dirty (row entry, own issue, writeback into its
+    /// registers, memory completion). Candidate sets, arbitration, and
+    /// issue order are exactly those of [`Machine::issue_all_scan`] —
+    /// candidates accumulate in live order and feed the same
+    /// [`Machine::select`] — so the two engines are bit-identical; only
+    /// the cost of discovering candidates differs.
+    fn issue_all_event(&mut self, now: u64) -> Result<bool, SimError> {
         let mut any = false;
+        // One pass over the live threads repairs dirty caches and unions
+        // the units with at least one ready slot.
+        let mut unit_mask = 0u64;
+        for li in 0..self.live.len() {
+            let ti = self.live[li] as usize;
+            if self.threads[ti].ready_dirty {
+                self.refresh_ready(ti);
+            }
+            unit_mask |= self.threads[ti].ready_units;
+        }
+        // Units outside `unit_mask` have no candidates: the reference
+        // engine skips them without touching arbitration state, so the
+        // event engine may too. Within one cycle's issue phase a thread's
+        // readiness only ever *shrinks* (its own issues claim registers
+        // and add outstanding traffic; nothing completes mid-phase), and
+        // every issue repairs its thread's cache in place
+        // ([`Machine::update_ready_after_issue`]), so the caches stay
+        // exact across the whole phase: each unit's candidates are read
+        // straight off the bitmasks at its turn, in live (spawn) order —
+        // the order the reference engine's per-unit rescan produces.
         let mut candidates = mem::take(&mut self.scratch.cand);
-        for fu_idx in 0..self.config.units().len() {
+        let mut m = unit_mask;
+        while m != 0 {
+            let fu_idx = m.trailing_zeros() as usize;
+            m &= m - 1;
             let fu = FuId(fu_idx as u16);
             // Results denied a write port wait in a small per-unit buffer;
             // the unit stalls only when that buffer fills (the paper's
             // restricted schemes cost ~4% — whole-unit stalls on any
             // pending write would be far harsher than its model).
+            if self.wb_queues[fu_idx].len() >= self.config.wb_buffer {
+                continue;
+            }
+            let bit = 1u64 << fu_idx;
+            candidates.clear();
+            for &ti in &self.live {
+                let t = &self.threads[ti as usize];
+                if t.ready_units & bit != 0 {
+                    let slot =
+                        self.code[t.segment.0 as usize].rows[t.ip as usize].slot_of_unit[fu_idx];
+                    candidates.push((t.id, slot as usize));
+                }
+            }
+            let Some(&(tid, slot_idx)) = self.select(fu, &candidates) else {
+                continue;
+            };
+            if let Some(sink) = &mut self.obs.sink {
+                for &(loser, _) in candidates.iter().filter(|(c, _)| *c != tid) {
+                    sink.event(&ProbeEvent::ArbLoss {
+                        cycle: now,
+                        thread: loser.0,
+                        fu,
+                    });
+                }
+            }
+            self.issue_one(now, fu, tid, slot_idx)?;
+            any = true;
+        }
+        self.scratch.cand = candidates;
+        Ok(any)
+    }
+
+    /// Rebuilds a thread's per-unit readiness bitmask from its current
+    /// row: packed operand masks decide the data check, and only slots
+    /// with memory-ordering rules fall back to the full
+    /// [`Machine::readiness`] grading.
+    fn refresh_ready(&mut self, ti: usize) {
+        let t = &self.threads[ti];
+        let mut mask = 0u64;
+        if t.state == ThreadState::Running {
+            let seg_meta = &self.code[t.segment.0 as usize];
+            if let Some(row_meta) = seg_meta.rows.get(t.ip as usize) {
+                for (i, sm) in row_meta.slots.iter().enumerate() {
+                    if t.issued[i]
+                        || !t.regs.masks_ready(&sm.src, &sm.dst)
+                        || !Self::order_ok(t, &sm.order)
+                    {
+                        continue;
+                    }
+                    mask |= 1u64 << sm.fu.0;
+                }
+            }
+        }
+        let t = &mut self.threads[ti];
+        t.ready_units = mask;
+        t.ready_dirty = false;
+    }
+
+    /// Targeted repair of a clean readiness cache after register `r` of
+    /// thread `ti` was written: only slots referencing `r` (as a source
+    /// presence bit or a destination scoreboard bit) can change grade, so
+    /// exactly those are re-graded — in either direction, since a
+    /// writeback can flip a ready memory slot's hazard address. A dirty
+    /// cache stays dirty (the scan and lockstep engines never clean
+    /// theirs, so they are unaffected).
+    fn update_ready_after_write(&mut self, ti: usize, r: RegId) {
+        let t = &self.threads[ti];
+        if t.ready_dirty || t.state != ThreadState::Running {
+            return;
+        }
+        let seg_meta = &self.code[t.segment.0 as usize];
+        let Some(row_meta) = seg_meta.rows.get(t.ip as usize) else {
+            return;
+        };
+        let bit = (seg_meta.base[r.cluster.0 as usize] + r.index) as usize;
+        let key = (bit / 64) as u32;
+        let m = 1u64 << (bit % 64);
+        let mut mask = t.ready_units;
+        for (i, sm) in row_meta.slots.iter().enumerate() {
+            // Issued slots can never regain readiness; their unit bit is
+            // already clear, so nothing to re-grade.
+            if t.issued[i] {
+                continue;
+            }
+            if !sm.touch.iter().any(|&(k, w)| k == key && w & m != 0) {
+                continue;
+            }
+            let ub = 1u64 << sm.fu.0;
+            if t.regs.masks_ready(&sm.src, &sm.dst) && Self::order_ok(t, &sm.order) {
+                mask |= ub;
+            } else {
+                mask &= !ub;
+            }
+        }
+        self.threads[ti].ready_units = mask;
+    }
+
+    /// Targeted repair of a clean readiness cache after some of thread
+    /// `ti`'s outstanding memory traffic drained: register state is
+    /// untouched, so only order-ruled slots can change grade — and only
+    /// from unready to ready (draining relaxes every [`OrderRule`]), so
+    /// set bits are kept and only absent ordered bits are re-graded.
+    fn update_ready_after_mem_drain(&mut self, ti: usize) {
+        let t = &self.threads[ti];
+        if t.ready_dirty || t.state != ThreadState::Running {
+            return;
+        }
+        let seg_meta = &self.code[t.segment.0 as usize];
+        let Some(row_meta) = seg_meta.rows.get(t.ip as usize) else {
+            return;
+        };
+        let mut add = row_meta.ordered_units & !t.ready_units;
+        let mut mask = t.ready_units;
+        while add != 0 {
+            let u = add.trailing_zeros() as usize;
+            add &= add - 1;
+            let i = row_meta.slot_of_unit[u] as usize;
+            let sm = &row_meta.slots[i];
+            if !t.issued[i] && t.regs.masks_ready(&sm.src, &sm.dst) && Self::order_ok(t, &sm.order)
+            {
+                mask |= 1u64 << u;
+            }
+        }
+        self.threads[ti].ready_units = mask;
+    }
+
+    /// Grades a slot's precomputed [`OrderRule`] — the readiness cache's
+    /// form of the `OpKind` match inside [`Machine::readiness`] (register
+    /// readiness was already established by the packed-mask check). The
+    /// differential tests pin the two implementations to each other.
+    fn order_ok(t: &Thread, rule: &OrderRule) -> bool {
+        match rule {
+            OrderRule::None => true,
+            OrderRule::FenceAll => t.outstanding_mem.is_empty(),
+            OrderRule::FenceStores => t.outstanding_mem.iter().all(|&(_, _, s)| !s),
+            OrderRule::Hazard {
+                base,
+                off,
+                is_store,
+            } => {
+                let v = |o: &AddrOperand| match o {
+                    AddrOperand::Reg(r) => t.regs.value(*r).as_int(),
+                    AddrOperand::Imm(i) => Ok(*i),
+                };
+                let addr = match (v(base), v(off)) {
+                    (Ok(b), Ok(o)) => b.wrapping_add(o) as u64,
+                    // Let issue_one surface the type error.
+                    _ => return true,
+                };
+                !t.outstanding_mem
+                    .iter()
+                    .any(|&(_, a, s)| a == addr && (s || *is_store))
+            }
+        }
+    }
+
+    /// The scan-every-cycle reference engine: rescans every live
+    /// thread's row for every unit. Selectable via
+    /// [`Machine::use_reference_engine`] as the oracle the event-driven
+    /// engine is verified against.
+    fn issue_all_scan(&mut self, now: u64) -> Result<bool, SimError> {
+        let mut any = false;
+        let mut candidates = mem::take(&mut self.scratch.cand);
+        for fu_idx in 0..self.config.units().len() {
+            let fu = FuId(fu_idx as u16);
             if self.wb_queues[fu_idx].len() >= self.config.wb_buffer {
                 continue;
             }
@@ -1024,7 +1669,7 @@ impl Machine {
                     if *slot_fu != fu || t.issued[slot_idx] {
                         continue;
                     }
-                    if self.ready(t, op) {
+                    if Self::ready(t, op) {
                         candidates.push((t.id, slot_idx));
                     }
                     break; // at most one slot per unit per row
@@ -1081,7 +1726,7 @@ impl Machine {
             let all_ready = row.slots().iter().enumerate().all(|(i, (fu, op))| {
                 !t.issued.get(i).copied().unwrap_or(true)
                     && !used_units.contains(fu)
-                    && self.ready(t, op)
+                    && Self::ready(t, op)
             });
             if !all_ready {
                 continue;
@@ -1110,14 +1755,16 @@ impl Machine {
     /// outstanding memory traffic, and a reference may not issue while a
     /// same-address reference involving a store is outstanding (stores
     /// otherwise complete out of order under variable latency).
-    fn ready(&self, t: &Thread, op: &Operation) -> bool {
-        self.readiness(t, op) == Readiness::Ready
+    fn ready(t: &Thread, op: &Operation) -> bool {
+        Self::readiness(t, op) == Readiness::Ready
     }
 
     /// The graded form of [`Machine::ready`], shared with stall
     /// attribution so the profiler explains slots with exactly the logic
-    /// that gated them.
-    fn readiness(&self, t: &Thread, op: &Operation) -> Readiness {
+    /// that gated them. An associated function (state comes entirely
+    /// from the thread and the operation) so the lazy readiness refresh
+    /// can call it under split borrows of the machine.
+    fn readiness(t: &Thread, op: &Operation) -> Readiness {
         if !op.src_regs().all(|r| t.regs.is_present(r))
             || !op.dsts.iter().all(|d| t.regs.no_writers(*d))
         {
@@ -1220,10 +1867,11 @@ impl Machine {
         let t = &mut self.threads[tid.0 as usize];
         let seg_id = t.segment;
         let row = t.ip;
-        // The operation stays where the program owns it; pipeline entries
-        // reference it by (segment, row, slot) instead of cloning.
-        let (_, op) = &self.program.segment(seg_id).rows[row as usize].slots()[slot_idx];
-        let vals: ValList = op
+        // The slot metadata self-contains operands, destinations, and the
+        // action, so steady-state issue never dereferences the program
+        // (only the trace block below does, for the mnemonic).
+        let sm = &self.code[seg_id.0 as usize].rows[row as usize].slots[slot_idx];
+        let vals: ValList = sm
             .srcs
             .iter()
             .map(|s| match s {
@@ -1232,20 +1880,27 @@ impl Machine {
                 pc_isa::Operand::ImmFloat(f) => Value::Float(*f),
             })
             .collect();
-        for d in &op.dsts {
+        for d in sm.dsts.iter() {
             t.regs.begin_write(*d);
         }
         t.issued[slot_idx] = true;
+        t.unissued -= 1;
+        let row_done = t.unissued == 0;
         t.ops_issued += 1;
         t.last_issue = now;
+        // Issue claims registers and (below) may add outstanding memory
+        // traffic. A clean readiness cache is repaired incrementally at
+        // the end of this function; a dirty one stays dirty.
+        let was_clean = !t.ready_dirty;
+        let action = sm.action;
         self.ops_issued += 1;
         self.ops_by_unit[fu.0 as usize] += 1;
-        *self.ops_by_class.entry(op.unit_class()).or_insert(0) += 1;
         if self.obs.profiling {
             let base = self.obs.slot_base[seg_id.0 as usize][row as usize];
             self.obs.issued_dense[base as usize + slot_idx] += 1;
         }
         if self.obs.trace.is_some() || self.obs.sink.is_some() {
+            let (_, op) = &self.program.segment(seg_id).rows[row as usize].slots()[slot_idx];
             let ev = crate::trace::TraceEvent {
                 cycle: now,
                 fu,
@@ -1263,8 +1918,8 @@ impl Machine {
             }
         }
 
-        match &op.kind {
-            OpKind::Mem(m) => {
+        match action {
+            SlotAction::Mem(m) => {
                 let addr_base = vals[0].as_int()?;
                 let addr_off = vals[1].as_int()?;
                 let addr = addr_base.wrapping_add(addr_off);
@@ -1274,8 +1929,8 @@ impl Machine {
                     }));
                 }
                 let kind = match m {
-                    MemOp::Load(fl) => RequestKind::Load(*fl),
-                    MemOp::Store(fl) => RequestKind::Store(*fl, vals[2]),
+                    MemOp::Load(fl) => RequestKind::Load(fl),
+                    MemOp::Store(fl) => RequestKind::Store(fl, vals[2]),
                 };
                 let token = self.tokens.insert(
                     MemToken {
@@ -1283,7 +1938,7 @@ impl Machine {
                         fu,
                         is_load: matches!(m, MemOp::Load(_)),
                     },
-                    RegList::from_slice(&op.dsts),
+                    sm.dsts.clone(),
                 );
                 // The reference spends the unit's latency in the pipeline
                 // before reaching the memory system proper; we fold that
@@ -1305,41 +1960,94 @@ impl Machine {
                     matches!(m, MemOp::Store(_)),
                 ));
             }
-            OpKind::Branch(BranchOp::Probe { id }) => {
+            SlotAction::Probe(id) => {
                 self.probes.push(ProbeRecord {
                     thread: tid.0,
-                    id: *id,
+                    id,
                     cycle: now,
                 });
             }
-            OpKind::Branch(_) => {
+            SlotAction::Branch => {
                 self.threads[tid.0 as usize].branch_pending = true;
+                let done = now + latency;
+                self.pipe_next[fu.0 as usize] = self.pipe_next[fu.0 as usize].min(done);
                 self.pipes[fu.0 as usize].push(Exec {
                     thread: tid,
                     seg: seg_id,
                     row,
                     slot: slot_idx as u32,
                     vals,
-                    done: now + latency,
+                    done,
                 });
             }
-            OpKind::Int(_) | OpKind::Float(_) => {
+            SlotAction::Int(_) | SlotAction::Float(_) => {
+                let done = now + latency;
+                self.pipe_next[fu.0 as usize] = self.pipe_next[fu.0 as usize].min(done);
                 self.pipes[fu.0 as usize].push(Exec {
                     thread: tid,
                     seg: seg_id,
                     row,
                     slot: slot_idx as u32,
                     vals,
-                    done: now + latency,
+                    done,
                 });
             }
         }
+        if was_clean {
+            self.update_ready_after_issue(
+                tid.0 as usize,
+                slot_idx,
+                matches!(action, SlotAction::Mem(_)),
+            );
+        }
+        if row_done {
+            self.advance_hint = true;
+        }
         Ok(())
+    }
+
+    /// Incrementally repairs a *clean* readiness cache after its thread
+    /// issues `slot_idx`: within one issue phase a thread's readiness only
+    /// shrinks from its own issues (writebacks and memory completions land
+    /// in earlier step phases), so it suffices to drop the issued unit's
+    /// bit and exactly re-grade the sibling slots the issue can unready —
+    /// those whose operands the issued slot writes (`kills`), plus every
+    /// ordered slot when the issue added outstanding memory traffic.
+    fn update_ready_after_issue(&mut self, ti: usize, slot_idx: usize, added_mem: bool) {
+        let mask = {
+            let t = &self.threads[ti];
+            let row_meta = &self.code[t.segment.0 as usize].rows[t.ip as usize];
+            let sm = &row_meta.slots[slot_idx];
+            let mut mask = t.ready_units & !(1u64 << sm.fu.0);
+            let mut recheck = sm.kills & mask;
+            if added_mem {
+                recheck |= row_meta.ordered_units & mask;
+            }
+            while recheck != 0 {
+                let u = recheck.trailing_zeros() as usize;
+                recheck &= recheck - 1;
+                let i = row_meta.slot_of_unit[u] as usize;
+                let smi = &row_meta.slots[i];
+                if !t.regs.masks_ready(&smi.src, &smi.dst) || !Self::order_ok(t, &smi.order) {
+                    mask &= !(1u64 << u);
+                }
+            }
+            mask
+        };
+        self.threads[ti].ready_units = mask;
     }
 
     /// Advances instruction pointers once rows fully issue and transfers
     /// resolve. Returns whether any thread advanced or halted.
     fn advance_threads(&mut self, now: u64) -> Result<bool, SimError> {
+        // Nothing since the last scan made any thread eligible to advance:
+        // rows complete only through issue (`row_done` in `issue_one`), and
+        // branch resolutions on completed rows transfer directly in
+        // `resolve_branch`'s fast path.
+        if !self.advance_hint {
+            return Ok(false);
+        }
+        self.advance_hint = false;
         let mut any = false;
         // Snapshot: apply_transfer edits `live` (halts, fork spawns).
         let mut live_now = mem::take(&mut self.scratch.live);
@@ -1348,7 +2056,8 @@ impl Machine {
         for &ti in &live_now {
             let i = ti as usize;
             let t = &self.threads[i];
-            if t.state != ThreadState::Running || !t.row_fully_issued() || t.branch_pending {
+            debug_assert_eq!(t.unissued == 0, t.row_fully_issued());
+            if t.state != ThreadState::Running || t.unissued != 0 || t.branch_pending {
                 continue;
             }
             let transfer = self.transfers[i].take().unwrap_or(Transfer::FallThrough);
@@ -2109,6 +2818,26 @@ mod tests {
         assert!(!observed.stalls.is_empty());
         observed.stalls = Default::default();
         assert_eq!(base, observed);
+    }
+
+    #[test]
+    fn event_engine_matches_reference_engine() {
+        // The contention program exercises arbitration losses, writeback
+        // bursts, and memory ordering — the paths whose readiness-cache
+        // repairs must reproduce the scan engine's schedule exactly.
+        for profiled in [false, true] {
+            let mut fast = Machine::new(MachineConfig::baseline(), contention_program()).unwrap();
+            let mut reference =
+                Machine::new(MachineConfig::baseline(), contention_program()).unwrap();
+            reference.use_reference_engine(true);
+            if profiled {
+                fast.enable_profiling();
+                reference.enable_profiling();
+            }
+            let a = fast.run(10_000).unwrap();
+            let b = reference.run(10_000).unwrap();
+            assert_eq!(a, b, "engines diverge (profiled={profiled})");
+        }
     }
 
     #[test]

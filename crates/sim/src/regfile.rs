@@ -1,7 +1,30 @@
 //! Per-thread distributed register files with presence bits and an
 //! in-flight-writer scoreboard.
+//!
+//! Besides the per-register state, the file mirrors two packed u64
+//! bitsets — presence and "has in-flight writers" — over all clusters,
+//! so the issue engine can test a whole operand set with a few mask
+//! operations instead of walking registers one by one.
 
 use pc_isa::{RegId, Value};
+
+/// One `(word index, bits)` entry of a packed operand mask; see
+/// [`bit_layout`] for the bit numbering.
+pub(crate) type MaskWord = (u32, u64);
+
+/// Packed-bit layout of a distributed register set: returns the bit
+/// base of each cluster (register `r` lives at bit
+/// `base[r.cluster] + r.index`, packed little-endian into u64 words)
+/// and the number of words needed.
+pub(crate) fn bit_layout(regs_per_cluster: &[u32], n_clusters: usize) -> (Vec<u32>, usize) {
+    let mut base = Vec::with_capacity(n_clusters);
+    let mut total = 0u32;
+    for c in 0..n_clusters {
+        base.push(total);
+        total += regs_per_cluster.get(c).copied().unwrap_or(0);
+    }
+    (base, (total as usize).div_ceil(64))
+}
 
 /// State of one register.
 #[derive(Debug, Clone, Copy)]
@@ -33,6 +56,12 @@ impl Default for RegState {
 #[derive(Debug, Clone, Default)]
 pub struct RegFileSet {
     files: Vec<Vec<RegState>>,
+    /// Bit base of each cluster in the packed words ([`bit_layout`]).
+    base: Vec<u32>,
+    /// Packed presence bits, one per register.
+    present: Vec<u64>,
+    /// Packed "writers > 0" bits, one per register.
+    writing: Vec<u64>,
 }
 
 impl RegFileSet {
@@ -44,7 +73,13 @@ impl RegFileSet {
             let n = regs_per_cluster.get(c).copied().unwrap_or(0) as usize;
             files.push(vec![RegState::default(); n]);
         }
-        RegFileSet { files }
+        let (base, words) = bit_layout(regs_per_cluster, n_clusters);
+        RegFileSet {
+            files,
+            base,
+            present: vec![0; words],
+            writing: vec![0; words],
+        }
     }
 
     fn slot(&self, r: RegId) -> &RegState {
@@ -53,6 +88,10 @@ impl RegFileSet {
 
     fn slot_mut(&mut self, r: RegId) -> &mut RegState {
         &mut self.files[r.cluster.0 as usize][r.index as usize]
+    }
+
+    fn bit(&self, r: RegId) -> usize {
+        (self.base[r.cluster.0 as usize] + r.index) as usize
     }
 
     /// True when the register holds valid data.
@@ -70,12 +109,26 @@ impl RegFileSet {
         self.slot(r).value
     }
 
+    /// Tests a whole operand set in packed form: true when every masked
+    /// source bit is present and no masked destination register has an
+    /// in-flight writer — the bitset equivalent of scanning
+    /// [`Self::is_present`] over sources and [`Self::no_writers`] over
+    /// destinations. Masks must come from the same [`bit_layout`] this
+    /// set was built with.
+    pub(crate) fn masks_ready(&self, src: &[MaskWord], dst: &[MaskWord]) -> bool {
+        src.iter().all(|&(w, m)| self.present[w as usize] & m == m)
+            && dst.iter().all(|&(w, m)| self.writing[w as usize] & m == 0)
+    }
+
     /// Marks the register as the target of a newly issued operation:
     /// clears presence and counts the writer.
     pub fn begin_write(&mut self, r: RegId) {
+        let bit = self.bit(r);
         let s = self.slot_mut(r);
         s.present = false;
         s.writers += 1;
+        self.present[bit / 64] &= !(1u64 << (bit % 64));
+        self.writing[bit / 64] |= 1u64 << (bit % 64);
     }
 
     /// Completes a write: stores the value, sets presence, releases the
@@ -85,25 +138,36 @@ impl RegFileSet {
     /// Panics if no writer was registered (issue/writeback mismatch — a
     /// simulator bug).
     pub fn complete_write(&mut self, r: RegId, value: Value) {
+        let bit = self.bit(r);
         let s = self.slot_mut(r);
         assert!(s.writers > 0, "writeback without issue on {r}");
         s.writers -= 1;
         s.value = value;
         s.present = true;
+        if s.writers == 0 {
+            self.writing[bit / 64] &= !(1u64 << (bit % 64));
+        }
+        self.present[bit / 64] |= 1u64 << (bit % 64);
     }
 
     /// Directly installs a value with presence set and no writer
     /// bookkeeping — used for `fork` arguments at thread start.
     pub fn install(&mut self, r: RegId, value: Value) {
+        let bit = self.bit(r);
         let s = self.slot_mut(r);
         s.value = value;
         s.present = true;
         s.writers = 0;
+        self.present[bit / 64] |= 1u64 << (bit % 64);
+        self.writing[bit / 64] &= !(1u64 << (bit % 64));
     }
 
     /// Releases all storage (called when the thread halts).
     pub fn clear(&mut self) {
         self.files = Vec::new();
+        self.base = Vec::new();
+        self.present = Vec::new();
+        self.writing = Vec::new();
     }
 
     /// Peak register count over clusters (diagnostics).
@@ -119,6 +183,12 @@ mod tests {
 
     fn r(c: u16, i: u32) -> RegId {
         RegId::new(ClusterId(c), i)
+    }
+
+    /// The packed mask for a single register under this file's layout.
+    fn mask(rf: &RegFileSet, reg: RegId) -> Vec<MaskWord> {
+        let bit = (rf.base[reg.cluster.0 as usize] + reg.index) as usize;
+        vec![(bit as u32 / 64, 1u64 << (bit % 64))]
     }
 
     #[test]
@@ -162,5 +232,46 @@ mod tests {
         let mut rf = RegFileSet::new(&[64], 1);
         rf.clear();
         assert_eq!(rf.peak_file_len(), 0);
+    }
+
+    /// The packed bitsets must mirror the per-register booleans through
+    /// every transition of the write protocol, including the
+    /// double-writer case where presence returns before the writing bit
+    /// clears.
+    #[test]
+    fn packed_bits_track_scalar_state() {
+        let mut rf = RegFileSet::new(&[70, 3], 2);
+        let a = r(0, 65); // second word of cluster 0
+        let b = r(1, 2); // straddles into cluster 1's range
+        for reg in [a, b] {
+            let m = mask(&rf, reg);
+            assert!(!rf.masks_ready(&m, &[]), "empty register reads ready");
+            assert!(rf.masks_ready(&[], &m), "no writers yet");
+
+            rf.begin_write(reg);
+            rf.begin_write(reg);
+            assert!(!rf.masks_ready(&m, &[]));
+            assert!(!rf.masks_ready(&[], &m));
+
+            rf.complete_write(reg, Value::Int(1));
+            // Present again, but one writer still in flight.
+            assert!(rf.masks_ready(&m, &[]));
+            assert!(!rf.masks_ready(&[], &m));
+
+            rf.complete_write(reg, Value::Int(2));
+            assert!(rf.masks_ready(&m, &m));
+            assert!(rf.is_present(reg));
+            assert!(rf.no_writers(reg));
+        }
+    }
+
+    #[test]
+    fn layout_packs_clusters_contiguously() {
+        let (base, words) = bit_layout(&[10, 60, 4], 3);
+        assert_eq!(base, vec![0, 10, 70]);
+        assert_eq!(words, 2);
+        let (base, words) = bit_layout(&[], 2);
+        assert_eq!(base, vec![0, 0]);
+        assert_eq!(words, 0);
     }
 }

@@ -119,11 +119,25 @@ impl StallTable {
         cause: StallCause,
         class: Option<UnitClass>,
     ) {
+        self.record_stall_thread_n(thread, cause, class, 1);
+    }
+
+    /// [`StallTable::record_stall_thread`] charging `n` identical cycles
+    /// in one call. The bulk idle-skip path attributes a frozen span
+    /// retroactively: the machine state cannot change over the span, so
+    /// each skipped cycle would have recorded exactly this stall.
+    pub fn record_stall_thread_n(
+        &mut self,
+        thread: u32,
+        cause: StallCause,
+        class: Option<UnitClass>,
+        n: u64,
+    ) {
         let t = self.slot(thread);
-        t.alive += 1;
-        t.by_cause[cause.index()] += 1;
+        t.alive += n;
+        t.by_cause[cause.index()] += n;
         if let Some(c) = class {
-            self.by_class.entry(c).or_insert([0; StallCause::COUNT])[cause.index()] += 1;
+            self.by_class.entry(c).or_insert([0; StallCause::COUNT])[cause.index()] += n;
         }
     }
 

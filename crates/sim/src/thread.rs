@@ -39,6 +39,10 @@ pub struct Thread {
     /// Issue flags for the current row's slots (parallel to
     /// `row.slots()`).
     pub issued: Vec<bool>,
+    /// Count of `false` entries in `issued` — the machine's O(1) form of
+    /// [`Thread::row_fully_issued`]. Maintained by `enter_row` and the
+    /// machine's issue path.
+    pub unissued: u32,
     /// Lifecycle state.
     pub state: ThreadState,
     /// True while a control-transfer operation from the current row is in
@@ -64,6 +68,15 @@ pub struct Thread {
     /// Cycle of the thread's most recent issue (stall attribution reads
     /// this to tell busy cycles from stalled ones).
     pub last_issue: u64,
+    /// Readiness cache for the event-driven issue engine: bit `k` is set
+    /// when the current row has an unissued slot on unit `k` whose
+    /// operands (and memory-ordering constraints) allow issue. Valid
+    /// only while `ready_dirty` is false; the machine rebuilds it lazily.
+    pub ready_units: u64,
+    /// Set by every event that can change this thread's readiness
+    /// (row entry, own issue, writeback into its registers, memory
+    /// completion); cleared when `ready_units` is rebuilt.
+    pub ready_dirty: bool,
 }
 
 impl Thread {
@@ -74,6 +87,7 @@ impl Thread {
             segment,
             ip: 0,
             issued: Vec::new(),
+            unissued: 0,
             state: ThreadState::Running,
             branch_pending: false,
             priority: id.0,
@@ -83,6 +97,8 @@ impl Thread {
             spawned_at: now,
             halted_at: 0,
             last_issue: u64::MAX,
+            ready_units: 0,
+            ready_dirty: true,
         }
     }
 
@@ -102,7 +118,9 @@ impl Thread {
     pub fn enter_row(&mut self, n: usize) {
         self.issued.clear();
         self.issued.resize(n, false);
+        self.unissued = n as u32;
         self.branch_pending = false;
+        self.ready_dirty = true;
     }
 
     /// True when every slot of the current row has issued.

@@ -1,0 +1,84 @@
+//! Differential testing of the event-driven issue engine against the
+//! scan-every-cycle reference engine.
+//!
+//! The event engine (readiness bitmasks, targeted cache repair, bulk
+//! idle-cycle skipping) is a pure performance restructuring: for every
+//! benchmark and machine mode it must produce a [`pc_sim::RunStats`]
+//! that is *bit-identical* to the reference engine's — cycle counts,
+//! per-unit op counts, and the full stall table including the per-slot
+//! attribution counters. Any divergence is a scheduling bug, not noise.
+
+use coupling::{benchmarks, MachineMode};
+use pc_isa::MachineConfig;
+use pc_sim::{Machine, RunStats};
+
+/// Compiles and runs one benchmark variant on the chosen issue engine.
+fn run_engine(
+    bench: &coupling::Benchmark,
+    mode: MachineMode,
+    reference: bool,
+    profiled: bool,
+) -> RunStats {
+    let src = bench.source(mode).expect("variant exists");
+    let config = MachineConfig::baseline();
+    let out = pc_compiler::compile(src, &config, mode.schedule_mode())
+        .unwrap_or_else(|e| panic!("{} {}: {e}", bench.name, mode.label()));
+    let mut machine = Machine::new(config, out.program).unwrap();
+    machine.use_reference_engine(reference);
+    if profiled {
+        machine.enable_profiling();
+    }
+    (bench.setup)(&mut machine).unwrap();
+    machine
+        .run(20_000_000)
+        .unwrap_or_else(|e| panic!("{} {}: {e}", bench.name, mode.label()))
+}
+
+/// Asserts bit-identical stats across the two engines, plain and
+/// profiled, for every mode the benchmark supports.
+fn engines_agree(bench: &coupling::Benchmark) {
+    for mode in MachineMode::all() {
+        if bench.source(mode).is_none() {
+            continue;
+        }
+        for profiled in [false, true] {
+            let fast = run_engine(bench, mode, false, profiled);
+            let reference = run_engine(bench, mode, true, profiled);
+            // The stall table first, for a readable failure.
+            assert_eq!(
+                fast.stalls,
+                reference.stalls,
+                "{} {} (profiled={profiled}): stall tables diverge",
+                bench.name,
+                mode.label()
+            );
+            assert_eq!(
+                fast,
+                reference,
+                "{} {} (profiled={profiled}): stats diverge",
+                bench.name,
+                mode.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn matrix_engines_agree() {
+    engines_agree(&benchmarks::matrix());
+}
+
+#[test]
+fn fft_engines_agree() {
+    engines_agree(&benchmarks::fft());
+}
+
+#[test]
+fn lud_engines_agree() {
+    engines_agree(&benchmarks::lud());
+}
+
+#[test]
+fn model_engines_agree() {
+    engines_agree(&benchmarks::model());
+}
