@@ -6,17 +6,19 @@
 //! supports, compiling once per case outside the timed region (the
 //! compiler has its own bench, `toolchain_perf`; folding its cost into
 //! the hot-loop number hid simulator changes on short kernels), and
-//! (b) the full Table-2 baseline sweep, serial vs parallel, asserting
-//! the two produce bit-identical rows. Results are written to
-//! `BENCH_simcore.json` at the workspace root so future changes can be
-//! compared against the committed baseline:
+//! (b) the full Table-2 grid through the sweep engine — serial vs
+//! parallel wall-clock, per-shard wall-clock, and cold/warm cache
+//! hit/miss counts, asserting every path produces bit-identical rows.
+//! Results are written to `BENCH_simcore.json` (schema v3) at the
+//! workspace root so future changes can be compared against the
+//! committed baseline:
 //!
 //! ```sh
 //! cargo bench -p pc-bench --bench simcore
 //! git diff BENCH_simcore.json   # the trajectory
 //! ```
 
-use coupling::experiments::baseline;
+use coupling::sweep::{run_sweep, SweepOptions, SweepSpec, SweepSummary};
 use coupling::{benchmarks, default_jobs, run_benchmark, MachineMode};
 use criterion::{criterion_group, criterion_main, Criterion};
 use pc_isa::MachineConfig;
@@ -106,37 +108,47 @@ fn bench(c: &mut Criterion) {
         g.finish();
     }
 
-    // (b) Full Table-2 sweep at the host's parallelism, best of N. On a
-    // multi-core host the serial sweep runs too and the recorded speedup
-    // compares the two (rows must be bit-identical); on a single-CPU
-    // host `jobs == 1` *is* the serial path, so no comparison is staged
+    // (b) Full Table-2 grid through the sweep engine, recording what it
+    // actually did: jobs used, serial vs parallel wall-clock (best of
+    // N), wall-clock and cache traffic per shard, and the cold/warm
+    // hit/miss counts of the result cache. On a single-CPU host
+    // `jobs == 1` *is* the serial path, so no parallel run is staged
     // and no fictitious "speedup" is recorded.
-    let time_sweep = |jobs: usize| {
+    let spec = SweepSpec::table2();
+    let canonical = |s: &SweepSummary| -> Vec<(String, String)> {
+        s.rows
+            .iter()
+            .map(|r| (r.cell.id(), coupling::sweep::codec::stats_to_json(&r.stats)))
+            .collect()
+    };
+    let time_sweep = |opts: &SweepOptions| {
         let mut best = Duration::MAX;
         let mut result = None;
         for _ in 0..sweep_reps {
             let start = Instant::now();
-            let r = baseline::run_jobs(jobs).expect("table2 sweep");
+            let r = run_sweep(&spec, opts).expect("table2 sweep");
             best = best.min(start.elapsed());
             result = Some(r);
         }
         (best, result.expect("at least one sweep ran"))
     };
     let jobs = default_jobs();
-    let sweep_json = if jobs <= 1 {
-        let (serial_time, _) = time_sweep(1);
+    let (serial_time, serial_run) = time_sweep(&SweepOptions {
+        jobs: 1,
+        ..SweepOptions::default()
+    });
+    let cells = serial_run.total_cells;
+    let parallel_part = if jobs <= 1 {
         eprintln!("table2 sweep: serial {serial_time:.2?} (single-CPU host, no parallel run)");
-        format!(
-            "{{\n    \"serial_ms\": {:.1},\n    \"jobs\": 1,\n    \
-             \"note\": \"single-CPU host: parallel path identical to serial, \
-             no speedup measured\"\n  }}",
-            serial_time.as_secs_f64() * 1e3,
-        )
+        String::new()
     } else {
-        let (serial_time, serial_rows) = time_sweep(1);
-        let (parallel_time, parallel_rows) = time_sweep(jobs);
+        let (parallel_time, parallel_run) = time_sweep(&SweepOptions {
+            jobs,
+            ..SweepOptions::default()
+        });
         assert_eq!(
-            serial_rows, parallel_rows,
+            canonical(&serial_run),
+            canonical(&parallel_run),
             "parallel sweep must be bit-identical to serial"
         );
         let speedup = serial_time.as_secs_f64() / parallel_time.as_secs_f64();
@@ -145,15 +157,72 @@ fn bench(c: &mut Criterion) {
              ({jobs} jobs) -> {speedup:.2}x, rows bit-identical"
         );
         format!(
-            "{{\n    \"serial_ms\": {:.1},\n    \"parallel_ms\": {:.1},\n    \
-             \"jobs\": {},\n    \"speedup\": {:.2},\n    \
-             \"bit_identical\": true\n  }}",
-            serial_time.as_secs_f64() * 1e3,
+            "    \"parallel_ms\": {:.1},\n    \"speedup\": {:.2},\n    \
+             \"bit_identical\": true,\n",
             parallel_time.as_secs_f64() * 1e3,
-            jobs,
             speedup,
         )
     };
+    // Sharded cold pass into a fresh cache, then a warm full pass over
+    // it: the recorded numbers are the determinism gate's ground truth.
+    let cache_dir = std::env::temp_dir().join(format!("pc-bench-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let mut shard_lines = Vec::new();
+    for k in 1..=2usize {
+        let start = Instant::now();
+        let run = run_sweep(
+            &spec,
+            &SweepOptions {
+                jobs,
+                cache_dir: Some(cache_dir.clone()),
+                shard: Some((k, 2)),
+                ..SweepOptions::default()
+            },
+        )
+        .expect("sharded sweep");
+        shard_lines.push(format!(
+            "      {{\"shard\": \"{k}/2\", \"wall_ms\": {:.1}, \"hits\": {}, \"misses\": {}}}",
+            start.elapsed().as_secs_f64() * 1e3,
+            run.hits,
+            run.misses,
+        ));
+    }
+    let cold: (usize, usize) = (0, cells); // the shards above ran cold
+    let warm_run = run_sweep(
+        &spec,
+        &SweepOptions {
+            jobs,
+            cache_dir: Some(cache_dir.clone()),
+            ..SweepOptions::default()
+        },
+    )
+    .expect("warm sweep");
+    assert_eq!(
+        warm_run.misses, 0,
+        "warm rerun over the shard-filled cache must be 100% hits"
+    );
+    assert_eq!(
+        canonical(&serial_run),
+        canonical(&warm_run),
+        "cached rows must be bit-identical to fresh serial rows"
+    );
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    eprintln!(
+        "table2 sweep: warm pass {} hits / {} misses over {} cells",
+        warm_run.hits, warm_run.misses, cells
+    );
+    let sweep_json = format!(
+        "{{\n    \"jobs\": {jobs},\n    \"cells\": {cells},\n    \
+         \"serial_ms\": {:.1},\n{parallel_part}    \"shards\": [\n{}\n    ],\n    \
+         \"cold\": {{\"hits\": {}, \"misses\": {}}},\n    \
+         \"warm\": {{\"hits\": {}, \"misses\": {}}}\n  }}",
+        serial_time.as_secs_f64() * 1e3,
+        shard_lines.join(",\n"),
+        cold.0,
+        cold.1,
+        warm_run.hits,
+        warm_run.misses,
+    );
 
     // (c) Machine-readable baseline.
     let mut cases = String::new();
@@ -179,7 +248,7 @@ fn bench(c: &mut Criterion) {
         ));
     }
     let json = format!(
-        "{{\n  \"schema\": \"simcore-baseline-v2\",\n  \"host_cpus\": {},\n  \
+        "{{\n  \"schema\": \"simcore-baseline-v3\",\n  \"host_cpus\": {},\n  \
          \"cases\": [\n{}\n  ],\n  \"table2_sweep\": {}\n}}\n",
         default_jobs(),
         cases,

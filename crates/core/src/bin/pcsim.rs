@@ -14,6 +14,11 @@
 //! pcsim exec <source.pc> [--trace N]        # compile and run a source file
 //! pcsim tables [table2|table3|fig5|fig6|fig7|fig8|ablations|registers|scaling]
 //!              [--jobs N]                   # fan the sweep over N host threads
+//! pcsim sweep [--benches a,b] [--modes m,..] [--interconnects i,..]
+//!             [--memories mm,..] [--mixes base,2x3,..] [--full] [--seed N]
+//!             [--jobs N] [--out FILE] [--manifest FILE] [--shard k/n]
+//!             [--cache-dir DIR] [--no-cache]
+//!             # batch engine: cross-product runs, JSONL rows, resumable
 //! ```
 
 use coupling::experiments::{
@@ -31,7 +36,9 @@ fn usage() -> ! {
   pcsim explain <matrix|fft|lud|model> [--modes seq,coupled] [--interconnect I] [--memory MM] [--seed N] [--lockstep] [--priority]
   pcsim compile <source.pc> [--single]
   pcsim exec <source.pc> [--trace N]
-  pcsim tables [table2|table3|fig5|fig6|fig7|fig8|ablations|registers|scaling] [--jobs N]"
+  pcsim tables [table2|table3|fig5|fig6|fig7|fig8|ablations|registers|scaling] [--jobs N]
+  pcsim sweep [--benches a,b] [--modes m,..] [--interconnects i,..] [--memories mm,..] [--mixes base,2x3]
+              [--full] [--seed N] [--jobs N] [--out FILE] [--manifest FILE] [--shard k/n] [--cache-dir DIR] [--no-cache]"
     );
     std::process::exit(2);
 }
@@ -84,6 +91,7 @@ fn main() {
         "compile" => cmd_compile(rest),
         "exec" => cmd_exec(rest),
         "tables" => cmd_tables(rest),
+        "sweep" => cmd_sweep(rest),
         _ => usage(),
     };
     if let Err(e) = result {
@@ -318,5 +326,97 @@ fn cmd_tables(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if want("scaling") {
         println!("{}", scaling::run_jobs(jobs)?.render());
     }
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use coupling::sweep::{run_sweep, MemKind, Mix, SweepOptions, SweepSpec};
+
+    let mut spec = if args.iter().any(|a| a == "--full") {
+        SweepSpec::full()
+    } else {
+        SweepSpec::table2()
+    };
+    let list = |flag: &str| {
+        flag_value(args, flag).map(|s| {
+            s.split(',')
+                .map(|t| t.trim().to_string())
+                .filter(|t| !t.is_empty())
+                .collect::<Vec<String>>()
+        })
+    };
+    if let Some(benches) = list("--benches") {
+        spec.benches = benches;
+    }
+    if let Some(modes) = list("--modes") {
+        spec.modes = modes.iter().map(|m| parse_mode(m)).collect();
+    }
+    if let Some(schemes) = list("--interconnects") {
+        spec.interconnects = schemes.iter().map(|s| parse_scheme(s)).collect();
+    }
+    if let Some(mems) = list("--memories") {
+        spec.memories = mems
+            .iter()
+            .map(|m| MemKind::parse(m).unwrap_or_else(|| usage()))
+            .collect();
+    }
+    if let Some(mixes) = list("--mixes") {
+        spec.mixes = mixes
+            .iter()
+            .map(|m| Mix::parse(m).unwrap_or_else(|| usage()))
+            .collect();
+    }
+    if let Some(seed) = flag_value(args, "--seed") {
+        spec.seed = seed.parse()?;
+    }
+
+    let jobs = match flag_value(args, "--jobs") {
+        Some(s) => s.parse::<usize>()?.max(1),
+        None => coupling::default_jobs(),
+    };
+    let shard = match flag_value(args, "--shard") {
+        Some(s) => {
+            let (k, n) = s.split_once('/').unwrap_or_else(|| usage());
+            Some((k.parse::<usize>()?, n.parse::<usize>()?))
+        }
+        None => None,
+    };
+    let cache_dir = if args.iter().any(|a| a == "--no-cache") {
+        None
+    } else {
+        Some(
+            flag_value(args, "--cache-dir")
+                .map(Into::into)
+                .unwrap_or_else(|| std::path::PathBuf::from("target/sweep-cache")),
+        )
+    };
+    let opts = SweepOptions {
+        jobs,
+        cache_dir,
+        out: flag_value(args, "--out").map(Into::into),
+        shard,
+        manifest: flag_value(args, "--manifest").map(Into::into),
+    };
+
+    let summary = run_sweep(&spec, &opts)?;
+    // Rows go to --out when given, otherwise to stdout; the one-line
+    // JSON summary always ends stdout (the machine interface CI greps).
+    if opts.out.is_none() {
+        for row in &summary.rows {
+            println!("{}", row.to_jsonl());
+        }
+    }
+    eprintln!(
+        "sweep: {} cells ({} already done), ran {} [{} cached, {} fresh] \
+         on {} jobs in {:.2}s",
+        summary.total_cells,
+        summary.prior_done,
+        summary.rows.len(),
+        summary.hits,
+        summary.misses,
+        summary.jobs,
+        summary.wall_ns as f64 / 1e9,
+    );
+    println!("{}", summary.to_json());
     Ok(())
 }

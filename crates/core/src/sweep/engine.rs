@@ -1,0 +1,974 @@
+//! The sweep batch engine: enumerate a configuration cross-product,
+//! fan the cells over the work-stealing pool, serve repeats from the
+//! content-addressed cache, stream results as JSONL, and keep a
+//! manifest that makes sharded runs resumable.
+//!
+//! The paper's tables are points sampled from the full grid
+//! `benchmarks × modes × interconnect schemes × memory models × FU
+//! mixes`; [`SweepSpec`] describes any sub-grid of it, and
+//! [`run_sweep`] executes one — this is the substrate the experiment
+//! harness and the `pcsim sweep` subcommand share.
+//!
+//! Determinism contract: the rows of a sweep (and the JSONL lines,
+//! after zeroing the per-row `wall_ns` and `cached` fields) are a pure
+//! function of the spec — independent of `jobs`, steal order, cache
+//! state, sharding, or how many times the run was killed and resumed.
+//! Rows are flushed in **cell order** through a reorder buffer, so even
+//! the byte order of a given run's output is deterministic.
+
+use super::cache::{cache_key, CachedResult, ResultCache};
+use super::codec::{escape_json, parse_json, stats_from_value, stats_to_json, Json};
+use super::pool::run_pool;
+use crate::benchmarks::{self, Benchmark};
+use crate::mode::MachineMode;
+use crate::runner::{run_benchmark, RunError};
+use pc_isa::{InterconnectScheme, MachineConfig, MemoryModel};
+use pc_sim::RunStats;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::io::Write as _;
+use std::panic::resume_unwind;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Version of the JSONL row / manifest schema.
+pub const SWEEP_SCHEMA_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------
+// Grid axes
+// ---------------------------------------------------------------------
+
+/// The paper's three named memory models, as a closed enum so sweep
+/// cells hash and print stably.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemKind {
+    /// Every reference completes in one cycle.
+    Min,
+    /// 5% miss rate, 20–100 cycle penalty.
+    Mem1,
+    /// 10% miss rate, 20–100 cycle penalty.
+    Mem2,
+}
+
+impl MemKind {
+    /// All models, in the paper's order.
+    pub fn all() -> [MemKind; 3] {
+        [MemKind::Min, MemKind::Mem1, MemKind::Mem2]
+    }
+
+    /// The concrete latency model.
+    pub fn model(self) -> MemoryModel {
+        match self {
+            MemKind::Min => MemoryModel::min(),
+            MemKind::Mem1 => MemoryModel::mem1(),
+            MemKind::Mem2 => MemoryModel::mem2(),
+        }
+    }
+
+    /// Lowercase identifier used in cell ids and CLI filters.
+    pub fn key(self) -> &'static str {
+        match self {
+            MemKind::Min => "min",
+            MemKind::Mem1 => "mem1",
+            MemKind::Mem2 => "mem2",
+        }
+    }
+
+    /// Parses a CLI filter token.
+    pub fn parse(s: &str) -> Option<MemKind> {
+        MemKind::all().into_iter().find(|m| m.key() == s)
+    }
+}
+
+/// A function-unit mix: the paper's baseline machine, or a Figure-8
+/// style `with_mix(iu, fpu)` machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mix {
+    /// [`MachineConfig::baseline`]: 4 arith clusters + 2 branch.
+    Baseline,
+    /// [`MachineConfig::with_mix`]: `iu` integer and `fpu` float units
+    /// spread one-per-cluster over 4 memory-bearing clusters.
+    Units {
+        /// Integer units (1..=4).
+        iu: usize,
+        /// Float units (1..=4).
+        fpu: usize,
+    },
+}
+
+impl Mix {
+    /// Lowercase identifier used in cell ids and CLI filters
+    /// (`base`, `2x3`, …).
+    pub fn key(self) -> String {
+        match self {
+            Mix::Baseline => "base".to_string(),
+            Mix::Units { iu, fpu } => format!("{iu}x{fpu}"),
+        }
+    }
+
+    /// Parses a CLI filter token (`base` or `IUxFPU`, each 1..=4).
+    pub fn parse(s: &str) -> Option<Mix> {
+        if s == "base" {
+            return Some(Mix::Baseline);
+        }
+        let (iu, fpu) = s.split_once('x')?;
+        let (iu, fpu) = (iu.parse().ok()?, fpu.parse().ok()?);
+        if (1..=4).contains(&iu) && (1..=4).contains(&fpu) {
+            Some(Mix::Units { iu, fpu })
+        } else {
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Spec and cells
+// ---------------------------------------------------------------------
+
+/// A sub-grid of the full configuration cross-product.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Benchmarks by lowercase name (`matrix`, `fft`, `lud`, `model`).
+    pub benches: Vec<String>,
+    /// Machine modes.
+    pub modes: Vec<MachineMode>,
+    /// Interconnect schemes.
+    pub interconnects: Vec<InterconnectScheme>,
+    /// Memory models.
+    pub memories: Vec<MemKind>,
+    /// Function-unit mixes.
+    pub mixes: Vec<Mix>,
+    /// Simulator RNG seed applied to every cell.
+    pub seed: u64,
+}
+
+impl SweepSpec {
+    /// The Table-2 grid: every benchmark × every mode on the baseline
+    /// machine (Full interconnect, Min memory).
+    pub fn table2() -> SweepSpec {
+        SweepSpec {
+            benches: benchmarks::all()
+                .iter()
+                .map(|b| b.name.to_lowercase())
+                .collect(),
+            modes: MachineMode::all().to_vec(),
+            interconnects: vec![InterconnectScheme::Full],
+            memories: vec![MemKind::Min],
+            mixes: vec![Mix::Baseline],
+            seed: 0,
+        }
+    }
+
+    /// The full cross-product the paper only samples: benchmarks ×
+    /// modes × all 5 interconnect schemes × all 3 memory models (on the
+    /// baseline mix; add mixes explicitly for the Figure-8 axis).
+    pub fn full() -> SweepSpec {
+        SweepSpec {
+            interconnects: InterconnectScheme::all().to_vec(),
+            memories: MemKind::all().to_vec(),
+            ..SweepSpec::table2()
+        }
+    }
+
+    /// Enumerates the grid, skipping benchmark × mode pairs without a
+    /// source variant (Ideal for LUD and Model). Cell indices are
+    /// positions in this enumeration and are what sharding partitions.
+    ///
+    /// # Errors
+    /// An unknown benchmark name, or an axis left empty.
+    pub fn cells(&self) -> Result<Vec<SweepCell>, String> {
+        for (axis, empty) in [
+            ("benches", self.benches.is_empty()),
+            ("modes", self.modes.is_empty()),
+            ("interconnects", self.interconnects.is_empty()),
+            ("memories", self.memories.is_empty()),
+            ("mixes", self.mixes.is_empty()),
+        ] {
+            if empty {
+                return Err(format!("sweep spec has an empty {axis} axis"));
+            }
+        }
+        let suite = benchmarks::all();
+        let mut cells = Vec::new();
+        for name in &self.benches {
+            let bench = suite
+                .iter()
+                .find(|b| b.name.to_lowercase() == *name)
+                .ok_or_else(|| format!("unknown benchmark {name:?}"))?;
+            for &mode in &self.modes {
+                if bench.source(mode).is_none() {
+                    continue;
+                }
+                for &interconnect in &self.interconnects {
+                    for &memory in &self.memories {
+                        for &mix in &self.mixes {
+                            cells.push(SweepCell {
+                                index: cells.len(),
+                                bench: name.clone(),
+                                mode,
+                                interconnect,
+                                memory,
+                                mix,
+                                seed: self.seed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(cells)
+    }
+
+    /// Content fingerprint of the spec (grid axes + seed), used by the
+    /// manifest to refuse resuming under a different spec.
+    pub fn fingerprint(&self) -> String {
+        let mut text = format!("pc-sweep-spec-v{SWEEP_SCHEMA_VERSION}\n");
+        text.push_str(&self.benches.join(","));
+        text.push('\n');
+        for m in &self.modes {
+            text.push_str(m.label());
+            text.push(',');
+        }
+        text.push('\n');
+        for i in &self.interconnects {
+            text.push_str(i.label());
+            text.push(',');
+        }
+        text.push('\n');
+        for m in &self.memories {
+            text.push_str(m.key());
+            text.push(',');
+        }
+        text.push('\n');
+        for m in &self.mixes {
+            text.push_str(&m.key());
+            text.push(',');
+        }
+        let _ = std::fmt::Write::write_fmt(&mut text, format_args!("\nseed={}\n", self.seed));
+        super::cache::sha256_hex(text.as_bytes())
+    }
+}
+
+/// One point of the grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// Position in the spec's enumeration (what sharding partitions).
+    pub index: usize,
+    /// Benchmark, lowercase.
+    pub bench: String,
+    /// Machine mode.
+    pub mode: MachineMode,
+    /// Interconnect scheme.
+    pub interconnect: InterconnectScheme,
+    /// Memory model.
+    pub memory: MemKind,
+    /// Function-unit mix.
+    pub mix: Mix,
+    /// Simulator RNG seed.
+    pub seed: u64,
+}
+
+impl SweepCell {
+    /// Stable human-readable id:
+    /// `bench/mode/interconnect/memory/mix/s<seed>` (all lowercase).
+    pub fn id(&self) -> String {
+        format!(
+            "{}/{}/{}/{}/{}/s{}",
+            self.bench,
+            self.mode.label().to_lowercase(),
+            self.interconnect.label().to_lowercase().replace('-', ""),
+            self.memory.key(),
+            self.mix.key(),
+            self.seed,
+        )
+    }
+
+    /// The machine configuration this cell simulates.
+    pub fn config(&self) -> MachineConfig {
+        let base = match self.mix {
+            Mix::Baseline => MachineConfig::baseline(),
+            Mix::Units { iu, fpu } => MachineConfig::with_mix(iu, fpu),
+        };
+        base.with_interconnect(self.interconnect)
+            .with_memory(self.memory.model())
+            .with_seed(self.seed)
+    }
+}
+
+impl fmt::Display for SweepCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Options, rows, summary, errors
+// ---------------------------------------------------------------------
+
+/// How to execute a sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Worker threads (0 or 1 = serial on the caller's thread).
+    pub jobs: usize,
+    /// Content-addressed result cache directory (`None` = no cache).
+    pub cache_dir: Option<PathBuf>,
+    /// JSONL sink: one row per completed cell, flushed in cell order.
+    pub out: Option<PathBuf>,
+    /// Shard selector `(k, n)`, 1-based: run only cells with
+    /// `index % n == k - 1`.
+    pub shard: Option<(usize, usize)>,
+    /// Manifest path. Written alongside the JSONL after every flushed
+    /// row; pre-existing manifest + JSONL are loaded and their finished
+    /// cells skipped (resume). Defaults to `<out>.manifest.json` when
+    /// `out` is set.
+    pub manifest: Option<PathBuf>,
+}
+
+/// One completed cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// The cell.
+    pub cell: SweepCell,
+    /// Run statistics (bit-identical whether fresh or cached).
+    pub stats: RunStats,
+    /// Peak per-cluster register count from the compiler.
+    pub peak_registers: u32,
+    /// True when the row was served from the cache.
+    pub cached: bool,
+    /// Wall-clock nanoseconds spent producing this row (lookup time for
+    /// hits, full pipeline time for misses). Excluded from determinism
+    /// comparisons.
+    pub wall_ns: u64,
+}
+
+impl SweepRow {
+    /// The row as one canonical JSONL line (no trailing newline).
+    /// Everything except `wall_ns` and `cached` is deterministic.
+    pub fn to_jsonl(&self) -> String {
+        format!(
+            "{{\"schema\":{SWEEP_SCHEMA_VERSION},\"cell\":\"{}\",\"bench\":\"{}\",\
+             \"mode\":\"{}\",\"interconnect\":\"{}\",\"memory\":\"{}\",\"mix\":\"{}\",\
+             \"seed\":{},\"cached\":{},\"wall_ns\":{},\"cycles\":{},\"ops\":{},\
+             \"peak_registers\":{},\"stats\":{}}}",
+            escape_json(&self.cell.id()),
+            escape_json(&self.cell.bench),
+            self.cell.mode.label(),
+            self.cell.interconnect.label(),
+            self.cell.memory.key(),
+            self.cell.mix.key(),
+            self.cell.seed,
+            self.cached,
+            self.wall_ns,
+            self.stats.cycles,
+            self.stats.ops_issued,
+            self.peak_registers,
+            stats_to_json(&self.stats),
+        )
+    }
+
+    /// Parses one JSONL line back into a row. The cell is reconstructed
+    /// from its printed axes.
+    ///
+    /// # Errors
+    /// A description of the first malformed field.
+    pub fn from_jsonl(line: &str) -> Result<SweepRow, String> {
+        let v = parse_json(line)?;
+        let get_str = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("missing {k:?}"))
+        };
+        let mode_label = get_str("mode")?;
+        let mode = MachineMode::all()
+            .into_iter()
+            .find(|m| m.label() == mode_label)
+            .ok_or_else(|| format!("unknown mode {mode_label:?}"))?;
+        let xc_label = get_str("interconnect")?;
+        let interconnect = InterconnectScheme::all()
+            .into_iter()
+            .find(|i| i.label() == xc_label)
+            .ok_or_else(|| format!("unknown interconnect {xc_label:?}"))?;
+        let mem_key = get_str("memory")?;
+        let memory =
+            MemKind::parse(mem_key).ok_or_else(|| format!("unknown memory {mem_key:?}"))?;
+        let mix_key = get_str("mix")?;
+        let mix = Mix::parse(mix_key).ok_or_else(|| format!("unknown mix {mix_key:?}"))?;
+        let need = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing {k:?}"))
+        };
+        Ok(SweepRow {
+            cell: SweepCell {
+                index: 0, // re-assigned by the caller against its spec
+                bench: get_str("bench")?.to_string(),
+                mode,
+                interconnect,
+                memory,
+                mix,
+                seed: need("seed")?,
+            },
+            stats: stats_from_value(v.get("stats").ok_or("missing stats")?)?,
+            peak_registers: need("peak_registers")? as u32,
+            cached: matches!(v.get("cached"), Some(Json::Bool(true))),
+            wall_ns: need("wall_ns")?,
+        })
+    }
+}
+
+/// What a sweep did.
+#[derive(Debug, Clone)]
+pub struct SweepSummary {
+    /// Newly produced rows, in cell order (cells already done in a
+    /// resumed manifest are not re-produced and appear only in the
+    /// JSONL/manifest from the earlier run).
+    pub rows: Vec<SweepRow>,
+    /// Cells in this shard's scope.
+    pub total_cells: usize,
+    /// Cells already done before this run (resume).
+    pub prior_done: usize,
+    /// Rows served from the cache.
+    pub hits: usize,
+    /// Rows computed fresh.
+    pub misses: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Total wall-clock nanoseconds for the run.
+    pub wall_ns: u64,
+}
+
+impl SweepSummary {
+    /// One-line JSON summary (the `pcsim sweep` machine interface).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"summary\":true,\"schema\":{SWEEP_SCHEMA_VERSION},\"total_cells\":{},\
+             \"prior_done\":{},\"ran\":{},\"hits\":{},\"misses\":{},\"jobs\":{},\
+             \"wall_ns\":{}}}",
+            self.total_cells,
+            self.prior_done,
+            self.rows.len(),
+            self.hits,
+            self.misses,
+            self.jobs,
+            self.wall_ns,
+        )
+    }
+}
+
+/// Failures of a sweep run.
+#[derive(Debug)]
+pub enum SweepError {
+    /// The spec is malformed (unknown benchmark, empty axis, bad shard).
+    Spec(String),
+    /// A cell's pipeline failed; deterministic lowest-index choice.
+    Cell {
+        /// The failing cell's id.
+        cell: String,
+        /// The underlying failure.
+        error: RunError,
+    },
+    /// Manifest/JSONL handling failed.
+    Io(std::io::Error),
+    /// A resume manifest disagrees with the requested spec/shard.
+    ManifestMismatch(String),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Spec(msg) => write!(f, "bad sweep spec: {msg}"),
+            SweepError::Cell { cell, error } => write!(f, "cell {cell}: {error}"),
+            SweepError::Io(e) => write!(f, "sweep i/o error: {e}"),
+            SweepError::ManifestMismatch(msg) => write!(f, "manifest mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<std::io::Error> for SweepError {
+    fn from(e: std::io::Error) -> Self {
+        SweepError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------
+
+/// The on-disk record that makes a sweep resumable: which cells of
+/// which spec/shard have had their JSONL rows durably flushed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// [`SweepSpec::fingerprint`] of the producing spec.
+    pub spec: String,
+    /// Shard selector, or `None` for the whole grid.
+    pub shard: Option<(usize, usize)>,
+    /// Cells in this shard's scope.
+    pub total: usize,
+    /// Ids of cells whose rows are flushed.
+    pub done: BTreeSet<String>,
+}
+
+impl Manifest {
+    /// Serializes the manifest as pretty-stable JSON.
+    pub fn to_json(&self) -> String {
+        let shard = match self.shard {
+            Some((k, n)) => format!("\"{k}/{n}\""),
+            None => "null".to_string(),
+        };
+        let done: Vec<String> = self
+            .done
+            .iter()
+            .map(|id| format!("\"{}\"", escape_json(id)))
+            .collect();
+        format!(
+            "{{\"schema\":{SWEEP_SCHEMA_VERSION},\"spec\":\"{}\",\"shard\":{},\
+             \"total\":{},\"done\":[{}]}}\n",
+            self.spec,
+            shard,
+            self.total,
+            done.join(","),
+        )
+    }
+
+    /// Parses [`Manifest::to_json`] output.
+    ///
+    /// # Errors
+    /// A description of the first malformed field.
+    pub fn from_json(text: &str) -> Result<Manifest, String> {
+        let v = parse_json(text)?;
+        let spec = v
+            .get("spec")
+            .and_then(Json::as_str)
+            .ok_or("missing spec")?
+            .to_string();
+        let shard = match v.get("shard") {
+            Some(Json::Str(s)) => {
+                let (k, n) = s.split_once('/').ok_or("bad shard")?;
+                Some((
+                    k.parse().map_err(|_| "bad shard k")?,
+                    n.parse().map_err(|_| "bad shard n")?,
+                ))
+            }
+            _ => None,
+        };
+        let total = v
+            .get("total")
+            .and_then(Json::as_u64)
+            .ok_or("missing total")? as usize;
+        let done = v
+            .get("done")
+            .and_then(Json::as_arr)
+            .ok_or("missing done")?
+            .iter()
+            .map(|x| {
+                x.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "non-string done id".to_string())
+            })
+            .collect::<Result<BTreeSet<_>, _>>()?;
+        Ok(Manifest {
+            spec,
+            shard,
+            total,
+            done,
+        })
+    }
+
+    fn write_atomic(&self, path: &Path) -> std::io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+/// Scans an existing JSONL file for the ids of rows already flushed —
+/// the kill-safe complement to the manifest (a crash between the row
+/// flush and the manifest rewrite must not duplicate the row on
+/// resume). Unparseable lines are ignored: a torn final line simply
+/// gets recomputed.
+fn scan_jsonl_done(path: &Path) -> BTreeSet<String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return BTreeSet::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let v = parse_json(line).ok()?;
+            Some(v.get("cell")?.as_str()?.to_string())
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------
+
+/// Runs a sweep.
+///
+/// Work-stealing across `opts.jobs` threads; each pending cell first
+/// consults the cache (if configured), then compiles + simulates +
+/// validates. Completed rows stream to the JSONL sink **in cell order**
+/// (a reorder buffer holds out-of-order completions), and after every
+/// flushed row the manifest is atomically rewritten — killing the
+/// process at any point loses at most the rows still in flight, and a
+/// resume recomputes exactly the missing cells.
+///
+/// # Errors
+/// Deterministically reports the lowest-indexed failing cell
+/// ([`SweepError::Cell`]), spec problems, manifest mismatches, and I/O
+/// failures of the sink or manifest.
+pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepSummary, SweepError> {
+    let started = Instant::now();
+    let all_cells = spec.cells().map_err(SweepError::Spec)?;
+    let cells: Vec<SweepCell> = match opts.shard {
+        None => all_cells,
+        Some((k, n)) => {
+            if n == 0 || k == 0 || k > n {
+                return Err(SweepError::Spec(format!(
+                    "bad shard {k}/{n}: want 1 <= k <= n"
+                )));
+            }
+            all_cells
+                .into_iter()
+                .filter(|c| c.index % n == k - 1)
+                .collect()
+        }
+    };
+    let manifest_path: Option<PathBuf> = opts.manifest.clone().or_else(|| {
+        opts.out
+            .as_ref()
+            .map(|p| PathBuf::from(format!("{}.manifest.json", p.display())))
+    });
+    // Resume state: manifest ∪ rows already present in the JSONL.
+    let fingerprint = spec.fingerprint();
+    let mut done: BTreeSet<String> = BTreeSet::new();
+    if let Some(mp) = &manifest_path {
+        if let Ok(text) = std::fs::read_to_string(mp) {
+            let m = Manifest::from_json(&text).map_err(SweepError::ManifestMismatch)?;
+            if m.spec != fingerprint {
+                return Err(SweepError::ManifestMismatch(format!(
+                    "manifest {} was produced by a different sweep spec \
+                     (spec {}.. vs {}..); use a fresh --out/--manifest",
+                    mp.display(),
+                    &m.spec[..12.min(m.spec.len())],
+                    &fingerprint[..12],
+                )));
+            }
+            if m.shard != opts.shard {
+                return Err(SweepError::ManifestMismatch(format!(
+                    "manifest {} covers shard {:?}, this run requests {:?}",
+                    mp.display(),
+                    m.shard,
+                    opts.shard,
+                )));
+            }
+            done.extend(m.done);
+        }
+    }
+    if let Some(out) = &opts.out {
+        done.extend(scan_jsonl_done(out));
+    }
+    let pending: Vec<&SweepCell> = cells.iter().filter(|c| !done.contains(&c.id())).collect();
+    let prior_done = cells.len() - pending.len();
+
+    let cache = match &opts.cache_dir {
+        Some(dir) => Some(ResultCache::open(dir)?),
+        None => None,
+    };
+    let suite = benchmarks::all();
+    let bench_of = |name: &str| -> &Benchmark {
+        suite
+            .iter()
+            .find(|b| b.name.to_lowercase() == name)
+            .expect("cells() validated benchmark names")
+    };
+
+    let mut sink: Option<std::io::BufWriter<std::fs::File>> = match &opts.out {
+        Some(path) => {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)?;
+                }
+            }
+            let mut file = std::fs::File::options()
+                .create(true)
+                .append(true)
+                .open(path)?;
+            // A kill mid-write can leave a torn final line with no
+            // newline; terminate it so appended rows don't concatenate
+            // onto the garbage (resume scanning skips the torn line).
+            let len = file.metadata()?.len();
+            if len > 0 {
+                use std::io::{Read as _, Seek as _, SeekFrom};
+                let mut probe = std::fs::File::open(path)?;
+                probe.seek(SeekFrom::End(-1))?;
+                let mut last = [0u8; 1];
+                probe.read_exact(&mut last)?;
+                if last[0] != b'\n' {
+                    file.write_all(b"\n")?;
+                }
+            }
+            Some(std::io::BufWriter::new(file))
+        }
+        None => None,
+    };
+    let mut manifest = Manifest {
+        spec: fingerprint,
+        shard: opts.shard,
+        total: cells.len(),
+        done,
+    };
+
+    // Fan the pending cells over the pool; the sink-side reorder buffer
+    // flushes in pending order so output bytes are schedule-independent.
+    let jobs = opts.jobs.max(1);
+    let run_cell = |cell: &&SweepCell| -> Result<SweepRow, (String, RunError)> {
+        let cell = *cell;
+        let bench = bench_of(&cell.bench);
+        let config = cell.config();
+        let t0 = Instant::now();
+        let key = cache.as_ref().map(|_| {
+            let source = bench.source(cell.mode).expect("cells() filtered modes");
+            cache_key(&cell.bench, cell.mode, source, &config)
+        });
+        if let (Some(cache), Some(key)) = (&cache, &key) {
+            if let Some(hit) = cache.lookup(key) {
+                return Ok(SweepRow {
+                    cell: cell.clone(),
+                    stats: hit.stats,
+                    peak_registers: hit.peak_registers,
+                    cached: true,
+                    wall_ns: t0.elapsed().as_nanos() as u64,
+                });
+            }
+        }
+        let out = run_benchmark(bench, cell.mode, config).map_err(|e| (cell.id(), e))?;
+        if let (Some(cache), Some(key)) = (&cache, &key) {
+            // A failed store must not fail the sweep — the result is in
+            // hand; the next run simply recomputes.
+            let _ = cache.store(
+                key,
+                &cell.id(),
+                &CachedResult {
+                    stats: out.stats.clone(),
+                    peak_registers: out.peak_registers,
+                },
+            );
+        }
+        Ok(SweepRow {
+            cell: cell.clone(),
+            stats: out.stats,
+            peak_registers: out.peak_registers,
+            cached: false,
+            wall_ns: t0.elapsed().as_nanos() as u64,
+        })
+    };
+
+    let mut slots: Vec<Option<Result<SweepRow, (String, RunError)>>> =
+        std::iter::repeat_with(|| None)
+            .take(pending.len())
+            .collect();
+    let mut next_flush = 0usize;
+    let mut flushed: Vec<SweepRow> = Vec::with_capacity(pending.len());
+    let mut io_error: Option<std::io::Error> = None;
+    let mut first_panic: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
+    run_pool(&pending, jobs, run_cell, |i, outcome| {
+        match outcome {
+            Ok(row) => slots[i] = Some(row),
+            Err(payload) => {
+                let lowest = first_panic.as_ref().map_or(true, |(j, _)| i < *j);
+                if lowest {
+                    first_panic = Some((i, payload));
+                }
+                return;
+            }
+        }
+        // Flush the completed prefix in cell order: JSONL line first
+        // (durable), then the manifest that acknowledges it.
+        while io_error.is_none() {
+            let Some(slot) = slots.get_mut(next_flush).and_then(Option::take) else {
+                break;
+            };
+            match slot {
+                Ok(row) => {
+                    if let Some(w) = &mut sink {
+                        let write = writeln!(w, "{}", row.to_jsonl()).and_then(|()| w.flush());
+                        if let Err(e) = write {
+                            io_error = Some(e);
+                            break;
+                        }
+                        manifest.done.insert(row.cell.id());
+                        if let Some(mp) = &manifest_path {
+                            if let Err(e) = manifest.write_atomic(mp) {
+                                io_error = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    flushed.push(row);
+                    next_flush += 1;
+                }
+                Err(fail) => {
+                    // Put the failure back; reported after the pool
+                    // drains (lowest index wins deterministically).
+                    slots[next_flush] = Some(Err(fail));
+                    break;
+                }
+            }
+        }
+    });
+    if let Some((_, payload)) = first_panic {
+        resume_unwind(payload);
+    }
+    if let Some(e) = io_error {
+        return Err(SweepError::Io(e));
+    }
+    // Any cell failure: report the lowest-indexed one.
+    for slot in slots.into_iter().flatten() {
+        if let Err((cell, error)) = slot {
+            return Err(SweepError::Cell { cell, error });
+        }
+    }
+    let hits = flushed.iter().filter(|r| r.cached).count();
+    let misses = flushed.len() - hits;
+    Ok(SweepSummary {
+        rows: flushed,
+        total_cells: cells.len(),
+        prior_done,
+        hits,
+        misses,
+        jobs,
+        wall_ns: started.elapsed().as_nanos() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_grid_skips_unsupported_ideal_variants() {
+        let cells = SweepSpec::table2().cells().unwrap();
+        // 4 benchmarks × 5 modes − (LUD, Model without Ideal) = 18.
+        assert_eq!(cells.len(), 18);
+        assert!(!cells
+            .iter()
+            .any(|c| c.bench == "lud" && c.mode == MachineMode::Ideal));
+        // Indices are dense enumeration positions.
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+    }
+
+    #[test]
+    fn full_grid_is_the_cross_product() {
+        let cells = SweepSpec::full().cells().unwrap();
+        assert_eq!(cells.len(), 18 * 5 * 3);
+    }
+
+    #[test]
+    fn cell_ids_are_unique_and_stable() {
+        let cells = SweepSpec::full().cells().unwrap();
+        let ids: BTreeSet<String> = cells.iter().map(SweepCell::id).collect();
+        assert_eq!(ids.len(), cells.len());
+        assert_eq!(
+            cells[0].id(),
+            "matrix/seq/full/min/base/s0",
+            "id format is part of the manifest contract"
+        );
+    }
+
+    #[test]
+    fn spec_fingerprint_tracks_every_axis() {
+        let base = SweepSpec::table2();
+        let fp = base.fingerprint();
+        assert_eq!(fp, SweepSpec::table2().fingerprint());
+        let mut changed = base.clone();
+        changed.seed = 1;
+        assert_ne!(fp, changed.fingerprint());
+        let mut changed = base.clone();
+        changed.memories = vec![MemKind::Mem2];
+        assert_ne!(fp, changed.fingerprint());
+        let mut changed = base.clone();
+        changed.benches.pop();
+        assert_ne!(fp, changed.fingerprint());
+    }
+
+    #[test]
+    fn shard_partition_is_exact_and_disjoint() {
+        let spec = SweepSpec::table2();
+        let all: Vec<String> = spec.cells().unwrap().iter().map(SweepCell::id).collect();
+        let mut seen = Vec::new();
+        for k in 1..=3 {
+            let opts = SweepOptions {
+                shard: Some((k, 3)),
+                ..SweepOptions::default()
+            };
+            // Use the same partition rule run_sweep applies.
+            let cells = spec.cells().unwrap();
+            let shard: Vec<String> = cells
+                .iter()
+                .filter(|c| c.index % 3 == k - 1)
+                .map(SweepCell::id)
+                .collect();
+            let _ = opts;
+            seen.extend(shard);
+        }
+        seen.sort();
+        let mut want = all;
+        want.sort();
+        assert_eq!(seen, want);
+    }
+
+    #[test]
+    fn bad_shard_and_unknown_bench_are_spec_errors() {
+        let spec = SweepSpec::table2();
+        let err = run_sweep(
+            &spec,
+            &SweepOptions {
+                shard: Some((3, 2)),
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SweepError::Spec(_)), "{err}");
+        let mut bad = spec;
+        bad.benches = vec!["nonesuch".to_string()];
+        let err = run_sweep(&bad, &SweepOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("nonesuch"), "{err}");
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = Manifest {
+            spec: "abc123".to_string(),
+            shard: Some((2, 4)),
+            total: 18,
+            done: ["a/b", "c/d"].iter().map(|s| s.to_string()).collect(),
+        };
+        assert_eq!(Manifest::from_json(&m.to_json()).unwrap(), m);
+        let unsharded = Manifest {
+            shard: None,
+            ..m.clone()
+        };
+        assert_eq!(
+            Manifest::from_json(&unsharded.to_json()).unwrap(),
+            unsharded
+        );
+        assert!(Manifest::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn mix_and_memkind_parse_their_keys() {
+        for m in MemKind::all() {
+            assert_eq!(MemKind::parse(m.key()), Some(m));
+        }
+        assert_eq!(MemKind::parse("bogus"), None);
+        assert_eq!(Mix::parse("base"), Some(Mix::Baseline));
+        assert_eq!(Mix::parse("2x3"), Some(Mix::Units { iu: 2, fpu: 3 }));
+        assert_eq!(Mix::parse("0x3"), None);
+        assert_eq!(Mix::parse("5x1"), None);
+        assert_eq!(Mix::parse("2x"), None);
+    }
+}

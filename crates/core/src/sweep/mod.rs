@@ -1,0 +1,34 @@
+//! Parallel batch execution of simulator runs.
+//!
+//! The paper's evaluation is a configuration cross-product — benchmarks
+//! × modes × interconnect schemes × memory models × FU mixes — and each
+//! cell is an independent compile + simulate + validate pipeline. This
+//! module is the batch substrate the experiment harness, the benchmark
+//! suite, and the `pcsim sweep` subcommand all share:
+//!
+//! - [`pool`] — a work-stealing deque pool (owners pop from the bottom,
+//!   thieves steal blocks from the top) behind the [`par_map`] /
+//!   [`try_par_map`] combinators, so long LUD cells don't serialize
+//!   behind short Matrix cells.
+//! - [`cache`] — a content-addressed result cache keyed by the hash of
+//!   a cell's *inputs* (program source, mode, machine configuration,
+//!   cycle limit, schema version); hits replay stored [`pc_sim::RunStats`]
+//!   bit-identical to a fresh run.
+//! - [`codec`] — the canonical JSON codec for `RunStats` that makes the
+//!   cache and the JSONL streams exactly round-trippable (every field is
+//!   an integer, so no float-formatting hazards exist).
+//! - [`engine`] — [`SweepSpec`]/[`run_sweep`]: grid enumeration, JSONL
+//!   streaming in deterministic cell order, and a manifest making
+//!   sharded runs (`--shard k/n`) resumable after a kill.
+
+pub mod cache;
+pub mod codec;
+pub mod engine;
+pub mod pool;
+
+pub use cache::{cache_key, config_fingerprint, CachedResult, ResultCache, CACHE_SCHEMA_VERSION};
+pub use engine::{
+    run_sweep, Manifest, MemKind, Mix, SweepCell, SweepError, SweepOptions, SweepRow, SweepSpec,
+    SweepSummary, SWEEP_SCHEMA_VERSION,
+};
+pub use pool::{default_jobs, par_map, try_par_map};

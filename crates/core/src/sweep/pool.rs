@@ -1,0 +1,388 @@
+//! Work-stealing deque pool.
+//!
+//! Every experiment in [`crate::experiments`] is an embarrassingly
+//! parallel grid — benchmark × mode × interconnect × memory model ×
+//! unit mix — of independent compile/simulate/validate pipelines, but
+//! the cells are wildly uneven: an LUD run under Mem2 costs orders of
+//! magnitude more than a tiny Matrix run. A central shared queue makes
+//! every worker contend on one cache line for every item; fixed
+//! chunking lets a worker that drew the long cells finish last while
+//! the rest idle. This pool does neither: each worker owns a deque
+//! seeded with a contiguous block of the grid, **pops from the bottom**
+//! of its own deque and, when empty, **steals a batch from the top** of
+//! a victim's — owner and thieves touch opposite ends, so contention
+//! only appears when the pool is already imbalanced.
+//!
+//! Results are delivered with **deterministic ordering**: [`par_map`]
+//! returns results in item order no matter how the OS schedules workers
+//! or which items get stolen, so a parallel sweep is bit-identical to
+//! the serial one. (The heavy dependency this would normally use,
+//! rayon/crossbeam, is unavailable offline; mutex-guarded deques cover
+//! the need — each lock guards a handful of pointer moves, never a
+//! simulation.)
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Number of worker threads to use by default: the host's available
+/// parallelism, or 1 if that cannot be determined.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// One worker's deque of pending item indices.
+///
+/// The owner pops from the **back** (the "bottom"); thieves take a
+/// batch from the **front** (the "top"). The deque is seeded with the
+/// owner's block in *reverse* order, so the owner's pops walk the block
+/// in ascending item order while thieves drain the far end.
+struct WorkerDeque {
+    q: Mutex<VecDeque<usize>>,
+}
+
+impl WorkerDeque {
+    fn seeded(range: std::ops::Range<usize>) -> Self {
+        WorkerDeque {
+            q: Mutex::new(range.rev().collect()),
+        }
+    }
+
+    /// Owner's pop: bottom of the deque.
+    fn pop(&self) -> Option<usize> {
+        self.q.lock().expect("deque lock").pop_back()
+    }
+
+    /// Thief's steal: up to half the victim's items (at least one) off
+    /// the top. Returns them bottom-first so the thief can extend its
+    /// own deque and keep popping in the victim's order.
+    fn steal(&self) -> Vec<usize> {
+        let mut q = self.q.lock().expect("deque lock");
+        let n = q.len().div_ceil(2).min(q.len());
+        q.drain(..n).collect()
+    }
+
+    fn push_stolen(&self, batch: Vec<usize>) {
+        let mut q = self.q.lock().expect("deque lock");
+        for i in batch {
+            q.push_back(i);
+        }
+    }
+}
+
+/// Runs `f` over every item on up to `jobs` workers, delivering
+/// `(item index, result)` pairs to `sink` **on the caller's thread in
+/// completion order**. Worker panics are caught and delivered as `Err`
+/// payloads; the caller decides how to re-raise. `jobs <= 1` runs
+/// inline with no spawning (and no panic catching — a serial panic
+/// propagates exactly as the plain loop would).
+///
+/// This is the streaming primitive under [`par_map`] and the sweep
+/// engine's JSONL writer: the sink sees results the moment they finish,
+/// not when the whole grid is done.
+pub(crate) fn run_pool<I, O, F>(
+    items: &[I],
+    jobs: usize,
+    f: F,
+    mut sink: impl FnMut(usize, std::thread::Result<O>),
+) where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let jobs = jobs.clamp(1, items.len().max(1));
+    if jobs <= 1 {
+        for (i, item) in items.iter().enumerate() {
+            sink(i, Ok(f(item)));
+        }
+        return;
+    }
+    // Seed each worker with a contiguous block of the grid.
+    let deques: Vec<WorkerDeque> = (0..jobs)
+        .map(|w| {
+            let lo = w * items.len() / jobs;
+            let hi = (w + 1) * items.len() / jobs;
+            WorkerDeque::seeded(lo..hi)
+        })
+        .collect();
+    let steals = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<O>)>();
+    std::thread::scope(|s| {
+        for w in 0..jobs {
+            let tx = tx.clone();
+            let deques = &deques;
+            let steals = &steals;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = match deques[w].pop() {
+                    Some(i) => i,
+                    None => {
+                        // Own deque dry: steal a batch from the first
+                        // victim with work, scanning round-robin from
+                        // our right-hand neighbour. Items are never
+                        // re-enqueued, so an all-empty scan means the
+                        // grid is fully claimed and we can retire.
+                        let mut batch = Vec::new();
+                        for v in 1..jobs {
+                            batch = deques[(w + v) % jobs].steal();
+                            if !batch.is_empty() {
+                                break;
+                            }
+                        }
+                        let Some(&first) = batch.first() else { break };
+                        steals.fetch_add(1, Ordering::Relaxed);
+                        deques[w].push_stolen(batch[1..].to_vec());
+                        first
+                    }
+                };
+                let item = &items[i];
+                // A panicking item must not tear down the scope with a
+                // payload-less "scoped thread panicked": the payload is
+                // caught, shipped to the caller's thread, and re-raised
+                // there once every worker has drained its share.
+                if tx
+                    .send((i, catch_unwind(AssertUnwindSafe(|| f(item)))))
+                    .is_err()
+                {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, out) in rx {
+            sink(i, out);
+        }
+    });
+}
+
+/// Applies `f` to every item on up to `jobs` worker threads of a
+/// work-stealing deque pool, returning the results **in item order**
+/// (the scheduling of workers never leaks into the output). `jobs <= 1`
+/// runs inline on the caller's thread with no spawning at all, which
+/// keeps the serial path byte-for-byte the old code path.
+///
+/// # Panics
+/// Re-raises the panic of the **lowest-indexed** panicking item — with
+/// its original payload — after all workers finish, mirroring
+/// [`try_par_map`]'s deterministic error choice. Other items still run
+/// to completion (no cancellation).
+pub fn par_map<I, O, F>(items: &[I], jobs: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let jobs = jobs.clamp(1, items.len().max(1));
+    if jobs <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<O>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    let mut first_panic: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
+    run_pool(items, jobs, f, |i, out| match out {
+        Ok(v) => slots[i] = Some(v),
+        Err(payload) => {
+            let lowest = match &first_panic {
+                None => true,
+                Some((j, _)) => i < *j,
+            };
+            if lowest {
+                first_panic = Some((i, payload));
+            }
+        }
+    });
+    if let Some((_, payload)) = first_panic {
+        resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every work item produces one result"))
+        .collect()
+}
+
+/// [`par_map`] for fallible work: collects `Ok` results in item order,
+/// or returns the error of the **lowest-indexed** failing item — not the
+/// first to fail on the wall clock — so error reporting is deterministic
+/// too. Later items still run to completion (no cancellation), keeping
+/// behaviour identical to the serial `?`-free sweep of the same grid.
+///
+/// # Errors
+/// The error of the lowest-indexed item whose `f` returned `Err`.
+pub fn try_par_map<I, O, E, F>(items: &[I], jobs: usize, f: F) -> Result<Vec<O>, E>
+where
+    I: Sync,
+    O: Send,
+    E: Send,
+    F: Fn(&I) -> Result<O, E> + Sync,
+{
+    par_map(items, jobs, f).into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_item_order() {
+        let items: Vec<u64> = (0..64).collect();
+        // Make late items finish first to stress the reordering.
+        let out = par_map(&items, 8, |&x| {
+            std::thread::sleep(std::time::Duration::from_micros(64 - x));
+            x * 2
+        });
+        assert_eq!(out, (0..64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u32> = (0..100).collect();
+        let serial = par_map(&items, 1, |&x| x.wrapping_mul(2654435761));
+        let parallel = par_map(&items, 7, |&x| x.wrapping_mul(2654435761));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let none: Vec<u8> = vec![];
+        assert_eq!(par_map(&none, 4, |&x| x), Vec::<u8>::new());
+        assert_eq!(par_map(&[7u8], 4, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn zero_jobs_behaves_like_one() {
+        assert_eq!(par_map(&[1, 2, 3], 0, |&x| x * 10), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn more_jobs_than_items_is_fine() {
+        let items: Vec<u32> = (0..3).collect();
+        assert_eq!(par_map(&items, 64, |&x| x + 1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn stealing_rebalances_an_unbalanced_block() {
+        // One long item at the front of worker 0's block; with block
+        // seeding and no stealing, worker 0 would also run the rest of
+        // its block afterwards. Stealing lets the other workers drain
+        // it, so total wall-clock stays near the long pole. Ordering
+        // must hold regardless.
+        let items: Vec<u64> = (0..32).collect();
+        let out = par_map(&items, 4, |&x| {
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            x + 100
+        });
+        assert_eq!(out, (100..132).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_par_map_reports_lowest_indexed_error() {
+        let items: Vec<u32> = (0..32).collect();
+        // Items 5 and 20 both fail; 5 must win regardless of timing.
+        let err = try_par_map(&items, 8, |&x| {
+            if x == 5 || x == 20 {
+                // Let the higher-indexed failure race ahead.
+                if x == 5 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                Err(x)
+            } else {
+                Ok(x)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, 5);
+    }
+
+    #[test]
+    fn try_par_map_ok_keeps_order() {
+        let items: Vec<u32> = (0..16).collect();
+        let out: Vec<u32> = try_par_map(&items, 4, |&x| Ok::<_, ()>(x + 1)).unwrap();
+        assert_eq!(out, (1..=16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn run_pool_streams_every_result_exactly_once() {
+        let items: Vec<u32> = (0..50).collect();
+        let mut seen = vec![0u32; items.len()];
+        run_pool(
+            &items,
+            6,
+            |&x| x * 3,
+            |i, out| {
+                seen[i] += 1;
+                assert_eq!(out.unwrap(), items[i] * 3);
+            },
+        );
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+    }
+
+    #[test]
+    fn worker_panic_reaches_the_caller_with_its_payload() {
+        let items: Vec<u32> = (0..32).collect();
+        let survivors = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_map(&items, 4, |&x| {
+                if x == 13 {
+                    panic!("boom at {x}");
+                }
+                survivors.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+        }));
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<String>().expect("formatted payload");
+        assert_eq!(msg, "boom at 13");
+        // No cancellation: every other item still ran.
+        assert_eq!(survivors.load(Ordering::Relaxed), items.len() - 1);
+    }
+
+    #[test]
+    fn panic_choice_is_the_lowest_indexed_item() {
+        let items: Vec<u32> = (0..32).collect();
+        // Items 5 and 20 both panic; 5 must win even when 20 finishes
+        // first on the wall clock.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_map(&items, 8, |&x| {
+                if x == 5 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    panic!("low");
+                }
+                if x == 20 {
+                    panic!("high");
+                }
+                x
+            })
+        }));
+        let payload = result.unwrap_err();
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"low"));
+    }
+
+    #[test]
+    fn try_par_map_survivors_keep_input_order_alongside_a_panic() {
+        // A panic in one item and errors in others must not disturb the
+        // deterministic Ok ordering of an unaffected run of the same
+        // shape (the grid sweeps rely on this for bit-identical output).
+        let items: Vec<u32> = (0..32).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            try_par_map(&items, 4, |&x| {
+                if x == 9 {
+                    panic!("nine");
+                }
+                Ok::<_, ()>(x)
+            })
+        }));
+        assert_eq!(result.unwrap_err().downcast_ref::<&str>(), Some(&"nine"));
+        let clean: Vec<u32> = try_par_map(&items, 4, |&x| Ok::<_, ()>(x)).unwrap();
+        assert_eq!(clean, items);
+    }
+}
