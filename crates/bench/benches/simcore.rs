@@ -1,17 +1,22 @@
 //! simcore — throughput baseline for the simulator hot loop and the
 //! parallel sweep driver.
 //!
-//! Times (a) the **simulation phase** — machine construction, input
-//! setup, and the cycle loop — for every benchmark × machine mode it
-//! supports, compiling once per case outside the timed region (the
-//! compiler has its own bench, `toolchain_perf`; folding its cost into
-//! the hot-loop number hid simulator changes on short kernels), and
-//! (b) the full Table-2 grid through the sweep engine — serial vs
-//! parallel wall-clock, per-shard wall-clock, and cold/warm cache
-//! hit/miss counts, asserting every path produces bit-identical rows.
-//! Results are written to `BENCH_simcore.json` (schema v3) at the
-//! workspace root so future changes can be compared against the
-//! committed baseline:
+//! Times (a) the **simulation phase** — machine construction on a
+//! shared decoded image, input setup, and the cycle loop — for the
+//! full benchmark × machine mode cross-product. Compilation *and*
+//! decode happen once per case outside the timed region: the compiler
+//! has its own bench (`toolchain_perf`), and decode is load-time work
+//! by design (`DecodedProgram` is built when a program is loaded and
+//! shared across every run of it, exactly as the sweep engine and the
+//! timed loop here use it). Coupled mode additionally gets one row per
+//! oracle engine (`event`, `scan`) so the decoded backend's margin is
+//! itself regression-gated. Also times (b) the full Table-2 grid
+//! through the sweep engine — serial vs parallel wall-clock, per-shard
+//! wall-clock, and cold/warm cache hit/miss counts, asserting every
+//! path produces bit-identical rows. Results are written to
+//! `BENCH_simcore.json` (schema v4: each case records the `engine`
+//! that produced it) at the workspace root so future changes can be
+//! compared against the committed baseline:
 //!
 //! ```sh
 //! cargo bench -p pc-bench --bench simcore
@@ -22,7 +27,7 @@ use coupling::sweep::{run_sweep, SweepOptions, SweepSpec, SweepSummary};
 use coupling::{benchmarks, default_jobs, run_benchmark, MachineMode};
 use criterion::{criterion_group, criterion_main, Criterion};
 use pc_isa::MachineConfig;
-use pc_sim::Machine;
+use pc_sim::{DecodedProgram, EngineKind, Machine};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -48,12 +53,13 @@ fn bench(c: &mut Criterion) {
     };
 
     // (a) Hot-loop throughput: the full benchmark × mode cross-product.
-    // Each case compiles once, then every timed iteration builds a
-    // machine on the shared program, sets up inputs, and runs — the
-    // simulation phase the `sim_cycles_per_sec` metric describes. One
-    // validated pipeline run up front pins the cycle count (simulation
-    // is deterministic) and keeps the numerics honest.
-    let mut cycles_per_case: Vec<(String, u64)> = Vec::new();
+    // Each case compiles and decodes once, then every timed iteration
+    // builds a machine on the shared decoded image, sets up inputs, and
+    // runs — the simulation phase the `sim_cycles_per_sec` metric
+    // describes. One validated pipeline run up front pins the cycle
+    // count (simulation is deterministic) and keeps the numerics
+    // honest. Per case: `(id, cycles, engine)`.
+    let mut cycles_per_case: Vec<(String, u64, &'static str)> = Vec::new();
     {
         let mut g = c.benchmark_group("simcore");
         g.sample_size(samples)
@@ -66,17 +72,44 @@ fn bench(c: &mut Criterion) {
                 let out = run_benchmark(&b, mode, config.clone()).expect("validated run");
                 let compiled =
                     pc_compiler::compile(src, &config, mode.schedule_mode()).expect("compile");
-                let program = Arc::new(compiled.program);
+                let code = Arc::new(
+                    DecodedProgram::decode(config, Arc::new(compiled.program)).expect("decode"),
+                );
                 let id = format!("{}/{}", b.name, mode.label());
-                cycles_per_case.push((format!("simcore/{id}"), out.stats.cycles));
+                cycles_per_case.push((
+                    format!("simcore/{id}"),
+                    out.stats.cycles,
+                    EngineKind::Decoded.name(),
+                ));
                 g.bench_function(&id, |bench| {
                     bench.iter(|| {
-                        let mut m =
-                            Machine::new_shared(config.clone(), Arc::clone(&program)).unwrap();
+                        let mut m = Machine::from_decoded(Arc::clone(&code)).unwrap();
                         (b.setup)(&mut m).unwrap();
                         m.run(CYCLE_LIMIT).unwrap()
                     })
                 });
+                // Cross-engine rows: the oracle engines on the mode the
+                // decoded backend was built to accelerate. Their ids end
+                // with the engine name, so `/Coupled` floors don't catch
+                // them.
+                if mode == MachineMode::Coupled {
+                    for engine in [EngineKind::Event, EngineKind::Scan] {
+                        let eid = format!("{id}/{}", engine.name());
+                        cycles_per_case.push((
+                            format!("simcore/{eid}"),
+                            out.stats.cycles,
+                            engine.name(),
+                        ));
+                        g.bench_function(&eid, |bench| {
+                            bench.iter(|| {
+                                let mut m = Machine::from_decoded(Arc::clone(&code)).unwrap();
+                                m.set_engine(engine);
+                                (b.setup)(&mut m).unwrap();
+                                m.run(CYCLE_LIMIT).unwrap()
+                            })
+                        });
+                    }
+                }
             }
         }
         // Traced-vs-untraced pair: Matrix/Coupled with stall profiling on.
@@ -91,14 +124,17 @@ fn bench(c: &mut Criterion) {
             let compiled =
                 pc_compiler::compile(b.source(mode).unwrap(), &config, mode.schedule_mode())
                     .expect("compile");
-            let program = Arc::new(compiled.program);
+            let code = Arc::new(
+                DecodedProgram::decode(config, Arc::new(compiled.program)).expect("decode"),
+            );
             cycles_per_case.push((
                 "simcore/Matrix/Coupled/profiled".to_string(),
                 out.stats.cycles,
+                EngineKind::Decoded.name(),
             ));
             g.bench_function("Matrix/Coupled/profiled", |bench| {
                 bench.iter(|| {
-                    let mut m = Machine::new_shared(config.clone(), Arc::clone(&program)).unwrap();
+                    let mut m = Machine::from_decoded(Arc::clone(&code)).unwrap();
                     m.enable_profiling();
                     (b.setup)(&mut m).unwrap();
                     m.run(CYCLE_LIMIT).unwrap()
@@ -227,11 +263,11 @@ fn bench(c: &mut Criterion) {
     // (c) Machine-readable baseline.
     let mut cases = String::new();
     for r in c.results() {
-        let cycles = cycles_per_case
+        let (cycles, engine) = cycles_per_case
             .iter()
-            .find(|(id, _)| *id == r.id)
-            .map(|&(_, c)| c)
-            .unwrap_or(0);
+            .find(|(id, _, _)| *id == r.id)
+            .map(|&(_, c, e)| (c, e))
+            .unwrap_or((0, "decoded"));
         let mean_ns = r.mean.as_nanos();
         let cps = if mean_ns == 0 {
             0.0
@@ -242,13 +278,13 @@ fn bench(c: &mut Criterion) {
             cases.push_str(",\n");
         }
         cases.push_str(&format!(
-            "    {{\"id\": \"{}\", \"mean_ns\": {}, \"iterations\": {}, \
-             \"cycles_per_run\": {}, \"sim_cycles_per_sec\": {:.0}}}",
+            "    {{\"id\": \"{}\", \"engine\": \"{engine}\", \"mean_ns\": {}, \
+             \"iterations\": {}, \"cycles_per_run\": {}, \"sim_cycles_per_sec\": {:.0}}}",
             r.id, mean_ns, r.iterations, cycles, cps
         ));
     }
     let json = format!(
-        "{{\n  \"schema\": \"simcore-baseline-v3\",\n  \"host_cpus\": {},\n  \
+        "{{\n  \"schema\": \"simcore-baseline-v4\",\n  \"host_cpus\": {},\n  \
          \"cases\": [\n{}\n  ],\n  \"table2_sweep\": {}\n}}\n",
         default_jobs(),
         cases,

@@ -90,19 +90,20 @@ fn main() {
                     1.0
                 };
                 println!(
-                    "{:<28} {:>12.0} -> {:>12.0} cycles/s  ({:+.1}%)",
+                    "{:<34} {:>12.0} -> {:>12.0} cycles/s  ({:+.1}%) [{}]",
                     b.id,
                     b.sim_cycles_per_sec,
                     c.sim_cycles_per_sec,
-                    100.0 * (ratio - 1.0)
+                    100.0 * (ratio - 1.0),
+                    c.engine,
                 );
             }
-            None => println!("{:<28} missing from current run (skipped)", b.id),
+            None => println!("{:<34} missing from current run (skipped)", b.id),
         }
     }
     for c in &current {
         if !baseline.iter().any(|b| b.id == c.id) {
-            println!("{:<28} new case, no baseline (skipped)", c.id);
+            println!("{:<34} new case, no baseline (skipped)", c.id);
         }
     }
 

@@ -26,6 +26,10 @@ pub fn quick_mode() -> bool {
 pub struct BaselineCase {
     /// `simcore/<Bench>/<Mode>` identifier.
     pub id: String,
+    /// Issue engine that produced the case (`decoded` / `event` /
+    /// `scan`). Schema-v3 documents predate the field; they parse as
+    /// `decoded` — in v3 the default engine was the only one measured.
+    pub engine: String,
     /// Mean wall time per full pipeline run, nanoseconds.
     pub mean_ns: u64,
     /// Simulated machine cycles per run.
@@ -83,6 +87,7 @@ pub fn parse_baseline(json: &str) -> Result<Vec<BaselineCase>, String> {
             sim_cycles_per_sec: num("sim_cycles_per_sec")?,
             mean_ns: num("mean_ns")? as u64,
             cycles_per_run: num("cycles_per_run")? as u64,
+            engine: scan_string(obj, "engine").unwrap_or("decoded").to_string(),
             id,
         });
         rest = &rest[obj_start + obj_end + 1..];
@@ -273,11 +278,12 @@ mod tests {
     use super::*;
 
     const SAMPLE: &str = r#"{
-  "schema": "simcore-baseline-v3",
+  "schema": "simcore-baseline-v4",
   "host_cpus": 4,
   "cases": [
-    {"id": "simcore/Matrix/STS", "mean_ns": 1609547, "iterations": 1400, "cycles_per_run": 1598, "sim_cycles_per_sec": 992826},
-    {"id": "simcore/Matrix/Coupled", "mean_ns": 4714083, "iterations": 380, "cycles_per_run": 580, "sim_cycles_per_sec": 123036}
+    {"id": "simcore/Matrix/STS", "engine": "decoded", "mean_ns": 1609547, "iterations": 1400, "cycles_per_run": 1598, "sim_cycles_per_sec": 992826},
+    {"id": "simcore/Matrix/Coupled", "engine": "decoded", "mean_ns": 4714083, "iterations": 380, "cycles_per_run": 580, "sim_cycles_per_sec": 123036},
+    {"id": "simcore/Matrix/Coupled/scan", "engine": "scan", "mean_ns": 9428166, "iterations": 190, "cycles_per_run": 580, "sim_cycles_per_sec": 61518}
   ],
   "table2_sweep": {
     "jobs": 4,
@@ -298,12 +304,23 @@ mod tests {
     #[test]
     fn parses_the_writer_format() {
         let cases = parse_baseline(SAMPLE).unwrap();
-        assert_eq!(cases.len(), 2);
+        assert_eq!(cases.len(), 3);
         assert_eq!(cases[0].id, "simcore/Matrix/STS");
+        assert_eq!(cases[0].engine, "decoded");
         assert_eq!(cases[0].mean_ns, 1609547);
         assert_eq!(cases[0].cycles_per_run, 1598);
         assert_eq!(cases[0].sim_cycles_per_sec, 992826.0);
         assert_eq!(cases[1].id, "simcore/Matrix/Coupled");
+        assert_eq!(cases[2].engine, "scan");
+    }
+
+    #[test]
+    fn v3_documents_without_engine_default_to_decoded() {
+        let doc = SAMPLE.replace("\"engine\": \"decoded\", ", "");
+        let cases = parse_baseline(&doc).unwrap();
+        assert_eq!(cases[0].engine, "decoded");
+        assert_eq!(cases[1].engine, "decoded");
+        assert_eq!(cases[2].engine, "scan", "explicit field still wins");
     }
 
     #[test]
@@ -381,6 +398,7 @@ mod tests {
         let mut cases = parse_baseline(SAMPLE).unwrap();
         cases.push(BaselineCase {
             id: "simcore/Matrix/Coupled/profiled".to_string(),
+            engine: "decoded".to_string(),
             mean_ns: 1,
             cycles_per_run: 1,
             sim_cycles_per_sec: 1.0, // far below any floor

@@ -111,11 +111,13 @@ mod tests {
     }
 
     #[test]
-    fn ideal_only_where_statically_schedulable() {
+    fn every_paper_benchmark_has_an_ideal_variant() {
         assert!(matrix().ideal_src.is_some());
         assert!(fft().ideal_src.is_some());
-        assert!(lud().ideal_src.is_none());
-        assert!(model().ideal_src.is_none());
+        assert!(lud().ideal_src.is_some());
+        assert!(model().ideal_src.is_some());
+        // The embedded Table-3 queue variants stay mode-limited.
+        assert!(model_queue_coupled().ideal_src.is_none());
     }
 
     #[test]
@@ -129,7 +131,8 @@ mod tests {
             Some(b.threaded_src.as_str())
         );
         assert!(b.source(MachineMode::Ideal).is_some());
-        assert!(lud().source(MachineMode::Ideal).is_none());
+        assert!(lud().source(MachineMode::Ideal).is_some());
+        assert!(model_queue_sts().source(MachineMode::Ideal).is_none());
     }
 
     #[test]

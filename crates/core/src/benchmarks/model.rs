@@ -257,11 +257,25 @@ pub fn model() -> Benchmark {
         eval_device_source(),
         accumulate_and_relax()
     );
+    let ideal_src = format!(
+        "{}
+         {}
+         (defun main ()
+           (for (it 0 niter)
+             (for (d 0 nd) :unroll full (eval-device d))
+             {}))",
+        device_globals_source(),
+        eval_device_source(),
+        accumulate_and_relax()
+    );
     Benchmark {
         name: "Model",
         seq_src,
         threaded_src,
-        ideal_src: None, // data-dependent region branches
+        // The region branches stay data-dependent; "Ideal" here is the
+        // device loop fully unrolled — a single-thread static-schedule
+        // reference point, not a true lower bound.
+        ideal_src: Some(ideal_src),
         setup,
         check,
     }
@@ -395,5 +409,6 @@ mod tests {
             pc_compiler::front::expand(&b.seq_src).unwrap();
             pc_compiler::front::expand(&b.threaded_src).unwrap();
         }
+        pc_compiler::front::expand(model().ideal_src.as_ref().unwrap()).unwrap();
     }
 }

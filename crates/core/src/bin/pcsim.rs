@@ -3,10 +3,11 @@
 //! ```text
 //! pcsim run <matrix|fft|lud|model> [--mode seq|sts|ideal|tpe|coupled]
 //!           [--interconnect full|tri|dual|single|bus] [--memory min|mem1|mem2]
-//!           [--seed N] [--lockstep] [--priority]
+//!           [--seed N] [--lockstep] [--priority] [--engine decoded|event|scan]
 //! pcsim profile <matrix|fft|lud|model> <seq|sts|ideal|tpe|coupled>
 //!           [--interconnect I] [--memory MM] [--seed N] [--lockstep] [--priority]
-//!           [--jsonl FILE] [--chrome FILE]  # stall table + optional event sinks
+//!           [--engine E] [--jsonl FILE] [--chrome FILE]
+//!           # stall table + optional event sinks
 //! pcsim explain <matrix|fft|lud|model> [--modes seq,coupled]
 //!           [--interconnect I] [--memory MM] [--seed N] [--lockstep] [--priority]
 //!           # per-source-line stall attribution, per-loop rollup, mode diff
@@ -24,15 +25,15 @@
 use coupling::experiments::{
     ablation, baseline, comm, interference, latency, mix, registers, scaling,
 };
-use coupling::{benchmarks, run_benchmark, run_benchmark_observed, MachineMode, Observe};
+use coupling::{benchmarks, run_benchmark_observed, MachineMode, Observe};
 use pc_compiler::ScheduleMode;
 use pc_isa::{ArbitrationPolicy, InterconnectScheme, MachineConfig, MemoryModel, UnitClass};
 
 fn usage() -> ! {
     eprintln!(
         "usage:
-  pcsim run <matrix|fft|lud|model> [--mode M] [--interconnect I] [--memory MM] [--seed N] [--lockstep] [--priority]
-  pcsim profile <matrix|fft|lud|model> <seq|sts|ideal|tpe|coupled> [--interconnect I] [--memory MM] [--seed N] [--lockstep] [--priority] [--jsonl FILE] [--chrome FILE]
+  pcsim run <matrix|fft|lud|model> [--mode M] [--interconnect I] [--memory MM] [--seed N] [--lockstep] [--priority] [--engine decoded|event|scan]
+  pcsim profile <matrix|fft|lud|model> <seq|sts|ideal|tpe|coupled> [--interconnect I] [--memory MM] [--seed N] [--lockstep] [--priority] [--engine E] [--jsonl FILE] [--chrome FILE]
   pcsim explain <matrix|fft|lud|model> [--modes seq,coupled] [--interconnect I] [--memory MM] [--seed N] [--lockstep] [--priority]
   pcsim compile <source.pc> [--single]
   pcsim exec <source.pc> [--trace N]
@@ -78,6 +79,12 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_engine(args: &[String]) -> coupling::EngineKind {
+    flag_value(args, "--engine")
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or_default()
 }
 
 fn main() {
@@ -137,8 +144,13 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         .map(|s| parse_mode(&s))
         .unwrap_or(MachineMode::Coupled);
     let config = parse_config(args)?;
-    let out = run_benchmark(&bench, mode, config)?;
+    let observe = Observe {
+        engine: parse_engine(args),
+        ..Observe::default()
+    };
+    let out = run_benchmark_observed(&bench, mode, config, &observe)?;
     println!("{} / {}: validated ✓", bench.name, mode.label());
+    println!("engine      {}", out.engine.name());
     println!("cycles      {}", out.stats.cycles);
     println!("operations  {}", out.stats.ops_issued);
     println!("threads     {}", out.stats.threads_spawned);
@@ -173,12 +185,16 @@ fn cmd_profile(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         profile: true,
         jsonl: flag_value(args, "--jsonl").map(Into::into),
         chrome: flag_value(args, "--chrome").map(Into::into),
+        engine: parse_engine(args),
     };
     let out = run_benchmark_observed(&bench, mode, config, &observe)?;
     println!("{} / {}: validated ✓", bench.name, mode.label());
     println!(
-        "cycles {}   operations {}   threads {}\n",
-        out.stats.cycles, out.stats.ops_issued, out.stats.threads_spawned
+        "engine {}   cycles {}   operations {}   threads {}\n",
+        out.engine.name(),
+        out.stats.cycles,
+        out.stats.ops_issued,
+        out.stats.threads_spawned
     );
     println!("{}", coupling::report::stall_report(&out.stats));
     if let Some(p) = &observe.jsonl {

@@ -29,6 +29,7 @@ pub mod sweep;
 
 pub use benchmarks::Benchmark;
 pub use mode::MachineMode;
+pub use pc_sim::EngineKind;
 pub use runner::{run_benchmark, run_benchmark_observed, Observe, RunError, RunOutcome};
 pub use sweep::{
     default_jobs, par_map, run_sweep, try_par_map, ResultCache, SweepOptions, SweepSpec,

@@ -12,7 +12,7 @@ use std::fmt;
 /// |---|---|---|
 /// | `Seq` | sequential | one (statically scheduled uniprocessor) |
 /// | `Sts` | sequential | all (VLIW without trace scheduling) |
-/// | `Ideal` | fully unrolled | all (lower bound; Matrix & FFT only) |
+/// | `Ideal` | hand-unrolled | all (lower bound for Matrix & FFT; a static-schedule reference point for the branchy LUD & Model) |
 /// | `Tpe` | threaded | one per thread (multiprocessor-like) |
 /// | `Coupled` | threaded | all (processor coupling) |
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

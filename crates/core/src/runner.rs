@@ -6,7 +6,7 @@ use crate::mode::MachineMode;
 use pc_compiler::{CompileError, SegmentInfo};
 use pc_isa::MachineConfig;
 use pc_sim::probe::{ChromeTraceSink, Fanout, JsonlSink};
-use pc_sim::{Machine, RunStats, SimError};
+use pc_sim::{EngineKind, Machine, RunStats, SimError};
 use std::fmt;
 use std::io::BufWriter;
 use std::path::PathBuf;
@@ -28,6 +28,10 @@ pub struct RunOutcome {
     /// programs built without debug info — reports then fall back to
     /// "no provenance").
     pub debug: pc_isa::DebugMap,
+    /// The issue engine that actually produced the run. May differ from
+    /// the requested engine only when the machine forces a fallback
+    /// (more than 64 units clamps to the scan engine).
+    pub engine: EngineKind,
 }
 
 /// Failures of the compile/simulate/validate pipeline.
@@ -119,6 +123,10 @@ pub struct Observe {
     /// Write a Chrome `trace_event` array (Perfetto-loadable) to this
     /// file.
     pub chrome: Option<PathBuf>,
+    /// Which issue engine to simulate with. All engines produce
+    /// bit-identical results; this only trades host cost for
+    /// simplicity (the decoded default is the fastest).
+    pub engine: EngineKind,
 }
 
 impl Observe {
@@ -169,6 +177,7 @@ fn run_benchmark_full(
     let peak = out.peak_registers();
     let debug = out.debug;
     let mut machine = Machine::new(config, out.program)?;
+    machine.set_engine(observe.engine);
     (bench.setup)(&mut machine)?;
     if observe.profile {
         machine.enable_profiling();
@@ -191,12 +200,14 @@ fn run_benchmark_full(
     let stats = machine.run(CYCLE_LIMIT)?;
     // Flush sink trailers before the stats leave the machine.
     machine.take_probe();
+    let engine = machine.engine();
     (bench.check)(&mut machine).map_err(RunError::Check)?;
     Ok(RunOutcome {
         stats,
         segments: out.info,
         peak_registers: peak,
         debug,
+        engine,
     })
 }
 
@@ -229,7 +240,9 @@ mod tests {
 
     #[test]
     fn unsupported_mode_is_reported() {
-        let b = benchmarks::lud();
+        // The queue variants are the remaining benchmarks without an
+        // Ideal source (all four paper benchmarks now have one).
+        let b = benchmarks::model_queue_coupled();
         let err = run_benchmark(&b, MachineMode::Ideal, MachineConfig::baseline()).unwrap_err();
         assert!(matches!(err, RunError::Unsupported { .. }));
         assert!(err.to_string().contains("Ideal"));

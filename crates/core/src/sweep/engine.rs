@@ -171,8 +171,10 @@ impl SweepSpec {
     }
 
     /// Enumerates the grid, skipping benchmark × mode pairs without a
-    /// source variant (Ideal for LUD and Model). Cell indices are
-    /// positions in this enumeration and are what sharding partitions.
+    /// source variant (all four paper benchmarks now carry every mode;
+    /// the filter still guards embedded variants like the Table-3 queue
+    /// benchmarks). Cell indices are positions in this enumeration and
+    /// are what sharding partitions.
     ///
     /// # Errors
     /// An unknown benchmark name, or an axis left empty.
@@ -848,13 +850,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn table2_grid_skips_unsupported_ideal_variants() {
+    fn table2_grid_is_the_full_mode_cross_product() {
         let cells = SweepSpec::table2().cells().unwrap();
-        // 4 benchmarks × 5 modes − (LUD, Model without Ideal) = 18.
-        assert_eq!(cells.len(), 18);
-        assert!(!cells
+        // 4 benchmarks × 5 modes — every benchmark now has an Ideal
+        // variant, so nothing is skipped.
+        assert_eq!(cells.len(), 20);
+        assert!(cells
             .iter()
             .any(|c| c.bench == "lud" && c.mode == MachineMode::Ideal));
+        assert!(cells
+            .iter()
+            .any(|c| c.bench == "model" && c.mode == MachineMode::Ideal));
         // Indices are dense enumeration positions.
         for (i, c) in cells.iter().enumerate() {
             assert_eq!(c.index, i);
@@ -864,7 +870,7 @@ mod tests {
     #[test]
     fn full_grid_is_the_cross_product() {
         let cells = SweepSpec::full().cells().unwrap();
-        assert_eq!(cells.len(), 18 * 5 * 3);
+        assert_eq!(cells.len(), 20 * 5 * 3);
     }
 
     #[test]

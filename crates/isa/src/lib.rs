@@ -54,7 +54,9 @@ pub use config::{
 pub use debug::{DebugMap, LoopInfo, SegmentDebug, SpanInfo, SrcSpan};
 pub use error::{IsaError, Result};
 pub use inst::InstWord;
-pub use op::{BranchOp, FloatOp, IntOp, LoadFlavor, MemOp, OpKind, Operation, StoreFlavor};
+pub use op::{
+    eval_alu, BranchOp, FloatOp, IntOp, LoadFlavor, MemOp, OpKind, OpTag, Operation, StoreFlavor,
+};
 pub use program::{CodeSegment, Program, SegmentId, Symbol};
 pub use reg::{ClusterId, Operand, RegId};
 pub use validate::validate_program;

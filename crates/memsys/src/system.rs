@@ -366,6 +366,15 @@ impl MemorySystem {
         self.in_flight.len()
     }
 
+    /// True when an in-flight reference's latency has elapsed by `now`
+    /// — i.e. [`Self::tick_into`] would do more than immediately return.
+    /// One compare, so per-cycle callers can skip the whole completion
+    /// phase on idle cycles.
+    #[inline]
+    pub fn has_due(&self, now: u64) -> bool {
+        self.next_ready <= now
+    }
+
     /// The earliest cycle at which an in-flight reference's latency
     /// elapses (`None` when nothing is in flight). Parked references
     /// never complete without another completion waking them first, so

@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod decode;
 mod error;
 mod inline_vec;
 mod machine;
@@ -59,8 +60,9 @@ mod stats;
 mod thread;
 pub mod trace;
 
+pub use decode::DecodedProgram;
 pub use error::SimError;
-pub use machine::Machine;
+pub use machine::{EngineKind, Machine};
 pub use probe::{
     ChromeTraceSink, EventCounts, Fanout, JsonlSink, Probe, ProbeEvent, RingSink, StallCause,
 };

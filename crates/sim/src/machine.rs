@@ -1,18 +1,22 @@
 //! The machine: owns threads, function-unit pipelines, the memory system
 //! and the interconnect, and advances them cycle by cycle.
 
+use crate::decode::{
+    AddrOperand, DecBranch, DecSrc, DecodedProgram, FlatList, OrderRule, RegList, SlotAction,
+};
 use crate::error::SimError;
 use crate::inline_vec::InlineVec;
 use crate::probe::{Probe, ProbeEvent, StallCause};
-use crate::regfile::{bit_layout, MaskWord, RegFileSet};
+use crate::regfile::RegFileSet;
 use crate::stats::{ProbeRecord, RunStats, StallTable};
 use crate::thread::{Thread, ThreadId, ThreadState};
 use pc_isa::{
-    op, validate_program, ArbitrationPolicy, BranchOp, FuId, MachineConfig, MemOp, OpKind,
-    Operation, Program, RegId, SegmentId, UnitClass, Value,
+    op, ArbitrationPolicy, BranchOp, FuId, MachineConfig, MemOp, OpKind, Operation, Program, RegId,
+    SegmentId, UnitClass, Value,
 };
 use pc_memsys::{MemCompletion, MemEvent, MemorySystem, RequestKind};
 use pc_xconn::{Interconnect, PortDecision, WriteReq};
+use std::collections::VecDeque;
 use std::fmt;
 use std::mem;
 use std::sync::Arc;
@@ -20,271 +24,116 @@ use std::sync::Arc;
 /// Source values of an in-flight operation (every ALU/memory op has at
 /// most three; only wide `fork` argument lists spill).
 type ValList = InlineVec<Value, 4>;
-/// Destination registers of one result (rarely more than a couple).
-type RegList = InlineVec<RegId, 4>;
-/// Packed operand mask of one slot: `(word, bits)` pairs under the
-/// segment's [`bit_layout`] (an op's few operands rarely span words).
-type MaskList = InlineVec<MaskWord, 3>;
-/// Copied source operands of one slot (fork argument lists spill).
-type SrcList = InlineVec<pc_isa::Operand, 4>;
 
-/// An address operand of a memory slot, precomputed so the ordering
-/// check never touches the program's [`Operation`] (`ImmFloat` folds to
-/// 0, exactly as [`Machine::readiness`] evaluates it).
-#[derive(Debug, Clone, Copy)]
-enum AddrOperand {
-    Reg(RegId),
-    Imm(i64),
+/// Which issue/dispatch engine a [`Machine`] runs.
+///
+/// All three produce **bit-identical** simulated results — RunStats and
+/// stall tables included — for every program (the differential tests pin
+/// this); they differ only in host cost:
+///
+/// * [`EngineKind::Decoded`] (default): event-driven candidate discovery
+///   plus decode-once dispatch — flat pre-resolved operands, jump-table
+///   opcode tags, precomputed latencies ([`DecodedProgram`]).
+/// * [`EngineKind::Event`]: the readiness-bitmask engine with
+///   interpretive per-issue dispatch, kept as the first oracle.
+/// * [`EngineKind::Scan`]: the original scan-every-cycle engine that
+///   re-grades every thread × unit × slot from the program itself each
+///   cycle — the ground-truth oracle. Also disables bulk idle skipping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineKind {
+    /// Decode-once threaded-code dispatch (default).
+    #[default]
+    Decoded,
+    /// Event-driven readiness cache with interpretive dispatch.
+    Event,
+    /// Scan-every-cycle reference engine.
+    Scan,
 }
 
-/// The memory-consistency rule a slot must additionally satisfy, mirrored
-/// from the `OpKind` match inside [`Machine::readiness`] so the readiness
-/// cache can grade ordered slots without dereferencing the program (the
-/// differential tests pin the two forms to each other).
-#[derive(Debug, Clone, Copy)]
-enum OrderRule {
-    /// Plain ALU/branch slot: register readiness is the whole story.
-    None,
-    /// Synchronizing store or `fork`: fences on all outstanding traffic.
-    FenceAll,
-    /// Synchronizing load: fences on outstanding *stores* only.
-    FenceStores,
-    /// Plain load/store: same-address hazard against outstanding traffic.
-    Hazard {
-        base: AddrOperand,
-        off: AddrOperand,
-        is_store: bool,
-    },
-}
-
-/// What issuing and completing a slot does — the hot-path projection of
-/// its [`OpKind`], so neither path has to dereference the program (branch
-/// *resolution* still reads the program for the full [`BranchOp`]).
-#[derive(Debug, Clone, Copy)]
-enum SlotAction {
-    Int(pc_isa::IntOp),
-    Float(pc_isa::FloatOp),
-    Mem(MemOp),
-    /// Completes at issue; records a [`ProbeRecord`] with this id.
-    Probe(u32),
-    /// Any other control transfer: enters the branch pipeline.
-    Branch,
-}
-
-/// Precomputed issue metadata of one static slot, so the per-cycle
-/// readiness check is a handful of mask operations (see
-/// [`Machine::refresh_ready`]) and issue/completion never touch the
-/// program.
-#[derive(Debug, Clone)]
-struct SlotMeta {
-    /// The unit the slot is bound to.
-    fu: FuId,
-    /// Source-register presence mask.
-    src: MaskList,
-    /// Destination-scoreboard mask.
-    dst: MaskList,
-    /// Union of `src` and `dst` — the registers whose writebacks can
-    /// change this slot's grade ([`Machine::update_ready_after_write`]
-    /// walks one list instead of two).
-    touch: MaskList,
-    /// Memory-ordering rule beyond register readiness.
-    order: OrderRule,
-    /// Units of sibling slots whose readiness this slot's issue can
-    /// destroy: those reading or writing a register this slot writes.
-    /// After a clean thread issues, only these (plus ordered slots, for
-    /// memory issues) need re-grading — see
-    /// [`Machine::update_ready_after_issue`]. Units ≥ 64 are omitted
-    /// (the event engine is disabled there anyway).
-    kills: u64,
-    /// The operation's source operands (copied out of the program).
-    srcs: SrcList,
-    /// The operation's destination registers (copied out of the program).
-    dsts: RegList,
-    /// Hot-path projection of the operation's kind.
-    action: SlotAction,
-}
-
-/// Issue metadata of one instruction row.
-#[derive(Debug, Clone)]
-struct RowMeta {
-    /// Parallel to `row.slots()`.
-    slots: Vec<SlotMeta>,
-    /// Slot index bound to each unit (`u16::MAX` = none). Unique because
-    /// [`validate_program`] forbids two slots of a row on the same unit.
-    slot_of_unit: Box<[u16]>,
-    /// Units (< 64) of slots carrying an [`OrderRule`] other than `None`
-    /// — the slots a memory issue can unready.
-    ordered_units: u64,
-}
-
-/// Issue metadata of one code segment (parallel to `Program::segments`).
-#[derive(Debug, Clone)]
-struct SegMeta {
-    rows: Vec<RowMeta>,
-    /// Per-cluster base of the segment's packed register-bit layout
-    /// (see [`bit_layout`]) — maps a written [`RegId`] back to its
-    /// scoreboard bit for targeted readiness repair.
-    base: Vec<u32>,
-}
-
-/// Merges register `r`'s bit into a packed mask list.
-fn push_mask_bit(list: &mut Vec<MaskWord>, base: &[u32], r: RegId) {
-    let bit = (base[r.cluster.0 as usize] + r.index) as usize;
-    let key = (bit / 64) as u32;
-    let m = 1u64 << (bit % 64);
-    for e in list.iter_mut() {
-        if e.0 == key {
-            e.1 |= m;
-            return;
+impl EngineKind {
+    /// Stable lowercase name (`decoded` / `event` / `scan`), as accepted
+    /// by `pcsim --engine` and printed in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Decoded => "decoded",
+            EngineKind::Event => "event",
+            EngineKind::Scan => "scan",
         }
     }
-    list.push((key, m));
 }
 
-/// Precomputes per-slot operand masks and per-row unit→slot maps for a
-/// whole program.
-fn build_code_meta(program: &Program, config: &MachineConfig) -> Vec<SegMeta> {
-    let n_units = config.units().len();
-    let mut scratch: Vec<MaskWord> = Vec::new();
-    program
-        .segments
-        .iter()
-        .map(|seg| {
-            let (base, _) = bit_layout(&seg.regs_per_cluster, config.clusters().len());
-            let rows = seg
-                .rows
-                .iter()
-                .map(|row| {
-                    let mut slot_of_unit = vec![u16::MAX; n_units].into_boxed_slice();
-                    let mut slots: Vec<SlotMeta> = row
-                        .slots()
-                        .iter()
-                        .enumerate()
-                        .map(|(i, (fu, op))| {
-                            slot_of_unit[fu.0 as usize] = i as u16;
-                            scratch.clear();
-                            for r in op.src_regs() {
-                                push_mask_bit(&mut scratch, &base, r);
-                            }
-                            let src: MaskList = scratch.iter().copied().collect();
-                            scratch.clear();
-                            for d in &op.dsts {
-                                push_mask_bit(&mut scratch, &base, *d);
-                            }
-                            let dst: MaskList = scratch.iter().copied().collect();
-                            // `scratch` still holds the dst bits; merging the
-                            // src bits on top yields the union.
-                            for r in op.src_regs() {
-                                push_mask_bit(&mut scratch, &base, r);
-                            }
-                            let touch: MaskList = scratch.iter().copied().collect();
-                            let addr_operand = |o: &pc_isa::Operand| match o {
-                                pc_isa::Operand::Reg(r) => AddrOperand::Reg(*r),
-                                pc_isa::Operand::ImmInt(v) => AddrOperand::Imm(*v),
-                                // `readiness` evaluates a float immediate
-                                // address operand as 0.
-                                pc_isa::Operand::ImmFloat(_) => AddrOperand::Imm(0),
-                            };
-                            let order = match &op.kind {
-                                OpKind::Mem(MemOp::Store(fl))
-                                    if *fl != pc_isa::StoreFlavor::Plain =>
-                                {
-                                    OrderRule::FenceAll
-                                }
-                                OpKind::Mem(MemOp::Load(fl))
-                                    if *fl != pc_isa::LoadFlavor::Plain =>
-                                {
-                                    OrderRule::FenceStores
-                                }
-                                OpKind::Mem(m) => OrderRule::Hazard {
-                                    base: addr_operand(&op.srcs[0]),
-                                    off: addr_operand(&op.srcs[1]),
-                                    is_store: matches!(m, MemOp::Store(_)),
-                                },
-                                OpKind::Branch(BranchOp::Fork { .. }) => OrderRule::FenceAll,
-                                _ => OrderRule::None,
-                            };
-                            let action = match &op.kind {
-                                OpKind::Int(i) => SlotAction::Int(*i),
-                                OpKind::Float(f) => SlotAction::Float(*f),
-                                OpKind::Mem(m) => SlotAction::Mem(*m),
-                                OpKind::Branch(BranchOp::Probe { id }) => SlotAction::Probe(*id),
-                                OpKind::Branch(_) => SlotAction::Branch,
-                            };
-                            SlotMeta {
-                                fu: *fu,
-                                src,
-                                dst,
-                                touch,
-                                order,
-                                kills: 0,
-                                srcs: op.srcs.iter().copied().collect(),
-                                dsts: RegList::from_slice(&op.dsts),
-                                action,
-                            }
-                        })
-                        .collect();
-                    // Second pass: which sibling units each slot's issue can
-                    // unready (write-after-read and write-after-write on the
-                    // scoreboard), and which units carry ordering rules.
-                    let mut ordered_units = 0u64;
-                    for s in &slots {
-                        if !matches!(s.order, OrderRule::None) && s.fu.0 < 64 {
-                            ordered_units |= 1u64 << s.fu.0;
-                        }
-                    }
-                    let masks_intersect = |a: &[MaskWord], b: &[MaskWord]| {
-                        a.iter()
-                            .any(|&(ka, ma)| b.iter().any(|&(kb, mb)| ka == kb && ma & mb != 0))
-                    };
-                    for s in 0..slots.len() {
-                        let mut kills = 0u64;
-                        for (i, other) in slots.iter().enumerate() {
-                            if i == s || other.fu.0 >= 64 {
-                                continue;
-                            }
-                            if masks_intersect(&slots[s].dst, &other.src)
-                                || masks_intersect(&slots[s].dst, &other.dst)
-                            {
-                                kills |= 1u64 << other.fu.0;
-                            }
-                        }
-                        slots[s].kills = kills;
-                    }
-                    RowMeta {
-                        slots,
-                        slot_of_unit,
-                        ordered_units,
-                    }
-                })
-                .collect();
-            SegMeta { rows, base }
-        })
-        .collect()
+impl std::str::FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "decoded" => Ok(EngineKind::Decoded),
+            "event" => Ok(EngineKind::Event),
+            "scan" => Ok(EngineKind::Scan),
+            other => Err(format!(
+                "unknown engine `{other}` (expected decoded, event, or scan)"
+            )),
+        }
+    }
 }
 
 /// An operation in a function unit's execution pipeline.
 ///
-/// The operation itself is not cloned into the pipeline: `(seg, row,
-/// slot)` index the program's copy, which is immutable once the machine
-/// is built. The row is snapshotted at issue because the thread's `ip`
-/// may advance before the operation completes.
+/// The semantic work — operand gather, ALU evaluation, the branch
+/// decision — happens at issue, where the operands were just read
+/// anyway; the pipeline carries only the finished effect, so completion
+/// applies it instead of re-deriving it, and the entries stay small for
+/// the per-unit FIFOs.
 #[derive(Debug, Clone)]
 struct Exec {
     thread: ThreadId,
-    seg: SegmentId,
-    row: u32,
-    slot: u32,
-    vals: ValList,
+    /// The slot's index into [`DecodedProgram::ops`], carried so result
+    /// retirement reaches the destination lists in one load instead of
+    /// re-walking segment → row → slot.
+    op: u32,
+    /// The effect to apply at `done`.
+    payload: ExecPayload,
     done: u64,
 }
 
+/// The precomputed effect of a pipeline entry.
+#[derive(Debug, Clone)]
+enum ExecPayload {
+    /// An ALU result awaiting writeback.
+    Result(Value),
+    /// A decided control transfer (the branch condition was evaluated
+    /// against the issue-time operand values; resolution order is
+    /// unchanged because those values were latched at issue either way).
+    Branch(Transfer),
+    /// A `fork`: the spawn itself happens at completion, from the
+    /// argument values gathered at issue. Boxed — forks are rare and
+    /// wide, and an inline argument list would dominate every entry.
+    Fork(Box<ForkPayload>),
+}
+
+/// A pending `fork`'s spawn arguments.
+#[derive(Debug, Clone)]
+struct ForkPayload {
+    segment: SegmentId,
+    arg_dsts: Arc<[RegId]>,
+    vals: ValList,
+}
+
 /// A result waiting to retire into one or more register files.
+///
+/// Destinations are carried in both spellings: `dsts` feeds the
+/// arbitrated path's interconnect requests (cluster routing) and
+/// `dsts_flat` the register-file writes, index-aligned so removals keep
+/// the two in lockstep. `remote` is the result's precomputed remote-write
+/// count, so the uncontended path's grant accounting touches neither the
+/// configuration nor the destination clusters.
 #[derive(Debug, Clone)]
 struct Writeback {
     thread: ThreadId,
     fu: FuId,
     dsts: RegList,
+    dsts_flat: FlatList,
+    remote: u8,
     value: Value,
     seq: u64,
 }
@@ -315,32 +164,35 @@ struct MemToken {
 /// outstanding references and never allocates again.
 #[derive(Debug, Default)]
 struct TokenTable {
-    slots: Vec<Option<(MemToken, RegList)>>,
+    slots: Vec<Option<(MemToken, u32)>>,
     free: Vec<u32>,
 }
 
 impl TokenTable {
-    fn insert(&mut self, tok: MemToken, dsts: RegList) -> u64 {
+    /// `op` indexes the reference's decoded slot — destinations and the
+    /// remote-write count are read back from there at completion, so the
+    /// slab stores a handle, not copies of the lists.
+    fn insert(&mut self, tok: MemToken, op: u32) -> u64 {
         match self.free.pop() {
             Some(i) => {
                 debug_assert!(self.slots[i as usize].is_none());
-                self.slots[i as usize] = Some((tok, dsts));
+                self.slots[i as usize] = Some((tok, op));
                 u64::from(i)
             }
             None => {
-                self.slots.push(Some((tok, dsts)));
+                self.slots.push(Some((tok, op)));
                 (self.slots.len() - 1) as u64
             }
         }
     }
 
-    fn remove(&mut self, id: u64) -> Option<(MemToken, RegList)> {
+    fn remove(&mut self, id: u64) -> Option<(MemToken, u32)> {
         let entry = self.slots.get_mut(id as usize)?.take()?;
         self.free.push(id as u32);
         Some(entry)
     }
 
-    fn get(&self, id: u64) -> Option<&(MemToken, RegList)> {
+    fn get(&self, id: u64) -> Option<&(MemToken, u32)> {
         self.slots.get(id as usize)?.as_ref()
     }
 }
@@ -350,8 +202,6 @@ impl TokenTable {
 /// hot loop performs no heap allocation.
 #[derive(Debug, Default)]
 struct Scratch {
-    /// Phase A1: pipeline entries completing this cycle.
-    exec: Vec<Exec>,
     /// Phase A2: the cycle's memory completions.
     mem: Vec<MemCompletion>,
     /// Phase A3: `(queue, entry)` pairs ordered oldest-first.
@@ -366,6 +216,9 @@ struct Scratch {
     wb_granted: Vec<(u32, u32, u32)>,
     /// Phase B: one unit's issue candidates.
     cand: Vec<(ThreadId, usize)>,
+    /// Phase B (cached engines): per-unit candidate buckets filled by a
+    /// single pass over the live threads.
+    buckets: Vec<Vec<(ThreadId, u16)>>,
     /// Phases B/C: snapshot of live thread ids (spawn/halt mutate `live`).
     live: Vec<u32>,
     /// Phase B (lockstep): units claimed by already-issued rows.
@@ -456,26 +309,36 @@ impl fmt::Debug for Obs {
 pub struct Machine {
     config: MachineConfig,
     program: Arc<Program>,
-    /// Precomputed issue metadata, parallel to `program.segments`.
-    code: Vec<SegMeta>,
-    /// Issue via the scan-every-cycle reference engine instead of the
-    /// event-driven readiness cache (also disables bulk idle skipping).
-    /// Forced when the configuration has more than 64 units — the
-    /// readiness cache is a u64 bitmask. See
-    /// [`Machine::use_reference_engine`].
-    scan_engine: bool,
+    /// The decode-once program representation every engine dispatches
+    /// over; shared so repeated machines skip validation + translation.
+    code: Arc<DecodedProgram>,
+    /// Which issue/dispatch engine runs. Forced to [`EngineKind::Scan`]
+    /// when the configuration has more than 64 units — the readiness
+    /// cache is a u64 bitmask. See [`Machine::set_engine`].
+    engine: EngineKind,
     threads: Vec<Thread>,
     /// Ids of non-halted threads, in spawn order (iteration hot path).
     live: Vec<u32>,
     transfers: Vec<Option<Transfer>>,
     mem: MemorySystem,
     xconn: Interconnect,
-    pipes: Vec<Vec<Exec>>,
+    /// Per-unit execution pipelines. A unit's latency is constant, so
+    /// each pipe is strictly FIFO (one issue per unit per cycle, each
+    /// due `latency` later): completions are a prefix pop, never a scan.
+    pipes: Vec<VecDeque<Exec>>,
     /// Exact earliest `done` cycle per pipe (`u64::MAX` when empty):
     /// min-updated on push, recomputed when a pipe drains. Lets the
     /// completion phase skip pipes with nothing due without scanning.
     pipe_next: Vec<u64>,
+    /// Global minimum over `pipe_next` — one compare decides whether the
+    /// completion phase touches the pipes at all.
+    next_pipe_due: u64,
+    /// Total in-flight pipeline entries over all units (O(1) emptiness
+    /// checks for `finished` / `pending_latency`).
+    pipe_total: usize,
     wb_queues: Vec<Vec<Writeback>>,
+    /// Total queued writebacks over all units (O(1) emptiness checks).
+    wb_total: usize,
     /// Set whenever a thread may become eligible for a row advance or
     /// control transfer (its row fully issued, a transfer was applied to
     /// an empty row, or a thread spawned); phase C short-circuits to a
@@ -499,7 +362,7 @@ impl Machine {
     ///
     /// # Errors
     /// Returns [`SimError::Isa`] when the program fails
-    /// [`validate_program`].
+    /// [`pc_isa::validate_program`].
     pub fn new(config: MachineConfig, program: Program) -> Result<Self, SimError> {
         Self::new_shared(config, Arc::new(program))
     }
@@ -510,31 +373,54 @@ impl Machine {
     ///
     /// # Errors
     /// Returns [`SimError::Isa`] when the program fails
-    /// [`validate_program`].
+    /// [`pc_isa::validate_program`].
     pub fn new_shared(config: MachineConfig, program: Arc<Program>) -> Result<Self, SimError> {
-        validate_program(&program, &config)?;
+        let code = Arc::new(DecodedProgram::decode(config, program)?);
+        Self::from_decoded(code)
+    }
+
+    /// Builds a machine from an already [decoded](DecodedProgram::decode)
+    /// program, skipping validation and translation entirely — the
+    /// cheapest way to construct machines in bulk (benchmark iterations,
+    /// sweep points) over the same code.
+    ///
+    /// # Errors
+    /// Returns [`SimError::ThreadLimit`] if the configuration admits no
+    /// thread to run the entry segment.
+    pub fn from_decoded(code: Arc<DecodedProgram>) -> Result<Self, SimError> {
+        let config = code.config().clone();
+        let program = Arc::clone(code.program());
         let n_units = config.units().len();
         let n_clusters = config.clusters().len();
         let mem = MemorySystem::new(config.memory, program.memory_size, config.seed);
         let xconn = Interconnect::new(config.interconnect, n_clusters);
-        let code = build_code_meta(&program, &config);
         let mut m = Machine {
             config,
             program,
             code,
-            scan_engine: n_units > 64,
+            engine: if n_units > 64 {
+                EngineKind::Scan
+            } else {
+                EngineKind::default()
+            },
             threads: Vec::new(),
             live: Vec::new(),
             transfers: Vec::new(),
             mem,
             xconn,
-            pipes: vec![Vec::new(); n_units],
+            pipes: vec![VecDeque::new(); n_units],
             pipe_next: vec![u64::MAX; n_units],
+            next_pipe_due: u64::MAX,
+            pipe_total: 0,
             wb_queues: vec![Vec::new(); n_units],
+            wb_total: 0,
             advance_hint: true,
             rr: vec![0; n_units],
             tokens: TokenTable::default(),
-            scratch: Scratch::default(),
+            scratch: Scratch {
+                buckets: vec![Vec::new(); n_units],
+                ..Scratch::default()
+            },
             wb_seq: 0,
             cycle: 0,
             ops_issued: 0,
@@ -617,18 +503,36 @@ impl Machine {
         &mut self.mem
     }
 
-    /// Selects the scan-every-cycle reference issue engine: the original
-    /// O(units × threads × slots) loop, kept as the behavioural oracle
-    /// for the event-driven default (which must match it bit for bit —
-    /// differential tests compare the two). Also disables bulk
-    /// idle-cycle skipping, so every cycle is stepped explicitly.
-    ///
-    /// Passing `false` restores the event-driven engine unless the
-    /// configuration has more than 64 function units, in which case the
-    /// reference engine stays selected (the readiness cache is a u64
-    /// bitmask).
+    /// Selects the issue/dispatch engine. All engines simulate
+    /// identically (see [`EngineKind`]); this only trades host cost for
+    /// oracle independence. Configurations with more than 64 function
+    /// units force [`EngineKind::Scan`] regardless of `kind` — the
+    /// cached engines' readiness bitmask is a u64.
+    pub fn set_engine(&mut self, kind: EngineKind) {
+        self.engine = if self.config.units().len() > 64 {
+            EngineKind::Scan
+        } else {
+            kind
+        };
+    }
+
+    /// The engine currently selected (after any >64-unit clamping).
+    pub fn engine(&self) -> EngineKind {
+        self.engine
+    }
+
+    /// Selects the scan-every-cycle reference issue engine (`true`) or
+    /// restores the default decoded engine (`false`).
+    #[deprecated(
+        since = "0.8.0",
+        note = "three engines exist now; use `set_engine(EngineKind)`"
+    )]
     pub fn use_reference_engine(&mut self, on: bool) {
-        self.scan_engine = on || self.config.units().len() > 64;
+        self.set_engine(if on {
+            EngineKind::Scan
+        } else {
+            EngineKind::Decoded
+        });
     }
 
     /// Starts recording one [`crate::trace::TraceEvent`] per issued
@@ -715,10 +619,7 @@ impl Machine {
     }
 
     fn finished(&self) -> bool {
-        self.live.is_empty()
-            && self.mem.quiescent()
-            && self.pipes.iter().all(Vec::is_empty)
-            && self.wb_queues.iter().all(Vec::is_empty)
+        self.live.is_empty() && self.pipe_total == 0 && self.wb_total == 0 && self.mem.quiescent()
     }
 
     /// Snapshot of statistics so far.
@@ -823,51 +724,56 @@ impl Machine {
         let mut progress = false;
 
         // ---- Phase A1: function-unit pipeline completions ----------------
-        let mut done = mem::take(&mut self.scratch.exec);
-        for fu_idx in 0..self.pipes.len() {
-            if self.pipe_next[fu_idx] > now {
-                continue;
-            }
-            let pipe = &mut self.pipes[fu_idx];
-            // Stable in-place partition: completed entries move to the
-            // scratch buffer, the rest compact to the front.
-            done.clear();
-            pipe.retain(|e| {
-                if e.done <= now {
-                    done.push(e.clone());
-                    false
-                } else {
-                    true
+        // One compare skips the whole phase on cycles with nothing due.
+        if self.next_pipe_due <= now {
+            for fu_idx in 0..self.pipes.len() {
+                if self.pipe_next[fu_idx] > now {
+                    continue;
                 }
-            });
-            self.pipe_next[fu_idx] = pipe.iter().map(|e| e.done).min().unwrap_or(u64::MAX);
-            for e in done.drain(..) {
-                progress = true;
-                self.complete_exec(FuId(fu_idx as u16), e)?;
+                // Constant per-unit latency makes the pipe FIFO in `done`:
+                // the due entries are exactly the front prefix, popped off
+                // without cloning or scanning the tail.
+                loop {
+                    match self.pipes[fu_idx].front() {
+                        Some(e) if e.done <= now => {}
+                        _ => break,
+                    }
+                    let e = self.pipes[fu_idx].pop_front().expect("front checked");
+                    self.pipe_total -= 1;
+                    progress = true;
+                    self.complete_exec(FuId(fu_idx as u16), e)?;
+                }
+                self.pipe_next[fu_idx] = self.pipes[fu_idx].front().map_or(u64::MAX, |e| e.done);
             }
+            // Exact once the drain settles; this cycle's issue phase
+            // min-updates it again at each pipeline push.
+            self.next_pipe_due = self.pipe_next.iter().copied().min().unwrap_or(u64::MAX);
         }
-        self.scratch.exec = done;
 
         // ---- Phase A2: memory-system completions --------------------------
-        let mut completions = mem::take(&mut self.scratch.mem);
-        self.mem.tick_into(now, &mut completions)?;
-        for c in completions.drain(..) {
-            progress = true;
-            let Some((tok, dsts)) = self.tokens.remove(c.id) else {
-                return Err(SimError::UnknownToken { token: c.id });
-            };
-            let th = &mut self.threads[tok.thread.0 as usize];
-            th.outstanding_mem.retain(|&(t, _, _)| t != c.id);
-            // Draining outstanding traffic can unfence ordered slots.
-            self.update_ready_after_mem_drain(tok.thread.0 as usize);
-            if tok.is_load {
-                let Some(value) = c.value else {
-                    return Err(SimError::MissingLoadValue { token: c.id });
+        // One compare skips the phase on cycles with nothing due (parked
+        // references only complete through a due reference's attempt).
+        if self.mem.has_due(now) {
+            let mut completions = mem::take(&mut self.scratch.mem);
+            self.mem.tick_into(now, &mut completions)?;
+            for c in completions.drain(..) {
+                progress = true;
+                let Some((tok, op)) = self.tokens.remove(c.id) else {
+                    return Err(SimError::UnknownToken { token: c.id });
                 };
-                self.enqueue_writeback(tok.thread, tok.fu, dsts, value);
+                let th = &mut self.threads[tok.thread.0 as usize];
+                th.outstanding_mem.retain(|&(t, _, _)| t != c.id);
+                // Draining outstanding traffic can unfence ordered slots.
+                self.update_ready_after_mem_drain(tok.thread.0 as usize);
+                if tok.is_load {
+                    let Some(value) = c.value else {
+                        return Err(SimError::MissingLoadValue { token: c.id });
+                    };
+                    self.retire_result(tok.thread, tok.fu, op, value);
+                }
             }
+            self.scratch.mem = completions;
         }
-        self.scratch.mem = completions;
         if self.obs.on {
             self.drain_mem_events(now);
         }
@@ -919,22 +825,17 @@ impl Machine {
     /// [`SimError::CycleLimit`] fires at the same cycle with the same
     /// attribution as under per-cycle stepping.
     fn skip_idle_span(&mut self, limit: u64) {
-        if self.scan_engine || self.obs.sink.is_some() {
+        if self.engine == EngineKind::Scan || self.obs.sink.is_some() {
             // The reference engine steps every cycle by definition, and
             // sinks receive per-cycle stall events.
             return;
         }
-        if self.wb_queues.iter().any(|q| !q.is_empty()) {
+        if self.wb_total != 0 {
             // Queued writes may retire next cycle under a restricted
             // scheme; state is not frozen.
             return;
         }
-        let next_pipe = self
-            .pipe_next
-            .iter()
-            .copied()
-            .filter(|&c| c != u64::MAX)
-            .min();
+        let next_pipe = (self.next_pipe_due != u64::MAX).then_some(self.next_pipe_due);
         let next = match (next_pipe, self.mem.next_ready_cycle()) {
             (Some(a), Some(b)) => a.min(b),
             (Some(a), None) | (None, Some(a)) => a,
@@ -987,9 +888,7 @@ impl Machine {
     /// visible progress, yet those writes retire later, so reporting a
     /// deadlock there would be spurious.
     fn pending_latency(&self) -> bool {
-        self.mem.in_flight_count() > 0
-            || self.pipes.iter().any(|p| !p.is_empty())
-            || self.wb_queues.iter().any(|q| !q.is_empty())
+        self.mem.in_flight_count() > 0 || self.pipe_total > 0 || self.wb_total > 0
     }
 
     /// Forwards the memory system's park/wake log to the sink as
@@ -1008,7 +907,7 @@ impl Machine {
                 let thread = self
                     .tokens
                     .get(id)
-                    .map(|(tok, _)| tok.thread.0)
+                    .map(|(tok, ..)| tok.thread.0)
                     .unwrap_or(u32::MAX);
                 sink.event(&ProbeEvent::SyncRetry {
                     cycle: now,
@@ -1139,75 +1038,79 @@ impl Machine {
             t.outstanding_mem.iter().any(|&(tok, _, _)| {
                 self.tokens
                     .get(tok)
-                    .is_some_and(|(_, dsts)| dsts.iter().any(|d| *d == r))
+                    .is_some_and(|&(_, op)| self.code.ops[op as usize].dsts.iter().any(|d| *d == r))
             })
         };
         op.src_regs().any(|r| !t.regs.is_present(r) && fed(r))
             || op.dsts.iter().any(|d| !t.regs.no_writers(*d) && fed(*d))
     }
 
-    /// Applies a finished pipeline operation: computes ALU results and
-    /// resolves control transfers.
+    /// Applies a finished pipeline entry. The semantic work happened at
+    /// issue ([`Machine::issue_one`] gathers operands, evaluates results,
+    /// and takes branch decisions there); completion is the timing event
+    /// that makes the effect architecturally visible — results enter
+    /// writeback, transfers unblock their thread, forks spawn.
     fn complete_exec(&mut self, fu: FuId, e: Exec) -> Result<(), SimError> {
-        enum Outcome {
-            Write(Value, RegList),
-            Branch(BranchOp),
-        }
-        // The slot metadata self-contains everything ALU completion needs;
-        // only `Branch` resolution reads the program-owned operation (its
-        // clone allocates only for `fork`'s argument list, which is off
-        // the steady-state path).
-        let outcome = {
-            let sm = &self.code[e.seg.0 as usize].rows[e.row as usize].slots[e.slot as usize];
-            match sm.action {
-                SlotAction::Int(iop) => {
-                    Outcome::Write(op::eval_int(iop, e.vals.as_slice())?, sm.dsts.clone())
-                }
-                SlotAction::Float(fop) => {
-                    Outcome::Write(op::eval_float(fop, e.vals.as_slice())?, sm.dsts.clone())
-                }
-                SlotAction::Branch => {
-                    let (_, op) =
-                        &self.program.segment(e.seg).rows[e.row as usize].slots()[e.slot as usize];
-                    match &op.kind {
-                        OpKind::Branch(b) => Outcome::Branch(b.clone()),
-                        _ => unreachable!("SlotAction::Branch indexes a branch op"),
-                    }
-                }
-                SlotAction::Mem(_) | SlotAction::Probe(_) => {
-                    unreachable!("memory ops and probes complete outside the pipelines")
-                }
+        match e.payload {
+            ExecPayload::Result(v) => self.retire_result(e.thread, fu, e.op, v),
+            ExecPayload::Branch(t) => self.finish_branch(e.thread, t),
+            ExecPayload::Fork(f) => {
+                self.spawn(f.segment, f.vals.as_slice(), &f.arg_dsts)?;
+                self.finish_branch(e.thread, Transfer::FallThrough);
             }
-        };
-        match outcome {
-            Outcome::Write(v, dsts) => self.enqueue_writeback(e.thread, fu, dsts, v),
-            Outcome::Branch(b) => self.resolve_branch(e.thread, b, e.vals.as_slice())?,
         }
         Ok(())
     }
 
-    fn resolve_branch(
-        &mut self,
-        tid: ThreadId,
-        b: BranchOp,
-        vals: &[Value],
-    ) -> Result<(), SimError> {
-        let transfer = match b {
-            BranchOp::Halt => Transfer::Halt,
-            BranchOp::Jmp { target } => Transfer::To(target),
+    /// Decides a branch's pipeline payload from its issue-time operand
+    /// values, reading the program-spelled operation — the oracle
+    /// engines' path.
+    fn branch_payload(b: &BranchOp, vals: ValList) -> Result<ExecPayload, SimError> {
+        Ok(match b {
+            BranchOp::Halt => ExecPayload::Branch(Transfer::Halt),
+            BranchOp::Jmp { target } => ExecPayload::Branch(Transfer::To(*target)),
             BranchOp::Br { on_true, target } => {
-                if vals[0].as_cond()? == on_true {
-                    Transfer::To(target)
+                ExecPayload::Branch(if vals[0].as_cond()? == *on_true {
+                    Transfer::To(*target)
                 } else {
                     Transfer::FallThrough
-                }
+                })
             }
-            BranchOp::Fork { segment, arg_dsts } => {
-                self.spawn(segment, vals, &arg_dsts)?;
-                Transfer::FallThrough
-            }
+            BranchOp::Fork { segment, arg_dsts } => ExecPayload::Fork(Box::new(ForkPayload {
+                segment: *segment,
+                arg_dsts: arg_dsts.clone().into(),
+                vals,
+            })),
             BranchOp::Probe { .. } => unreachable!("probes complete at issue"),
-        };
+        })
+    }
+
+    /// [`Self::branch_payload`] over the pre-decoded [`DecBranch`] — the
+    /// decoded engine's path (the fork argument list is shared, so its
+    /// clone is a pointer bump, not a copy).
+    fn branch_payload_dec(b: &DecBranch, vals: ValList) -> Result<ExecPayload, SimError> {
+        Ok(match b {
+            DecBranch::Halt => ExecPayload::Branch(Transfer::Halt),
+            DecBranch::Jmp(target) => ExecPayload::Branch(Transfer::To(*target)),
+            DecBranch::Br { on_true, target } => {
+                ExecPayload::Branch(if vals[0].as_cond()? == *on_true {
+                    Transfer::To(*target)
+                } else {
+                    Transfer::FallThrough
+                })
+            }
+            DecBranch::Fork { segment, arg_dsts } => ExecPayload::Fork(Box::new(ForkPayload {
+                segment: *segment,
+                arg_dsts: Arc::clone(arg_dsts),
+                vals,
+            })),
+            DecBranch::None => unreachable!("non-branch slot issued as branch"),
+        })
+    }
+
+    /// Shared tail of branch resolution: clears the pending flag, records
+    /// the transfer, and takes the fully-issued fast path.
+    fn finish_branch(&mut self, tid: ThreadId, transfer: Transfer) {
         let t = &mut self.threads[tid.0 as usize];
         t.branch_pending = false;
         self.transfers[tid.0 as usize] = Some(transfer);
@@ -1217,14 +1120,15 @@ impl Machine {
         if self.threads[tid.0 as usize].unissued == 0 {
             self.apply_transfer(tid.0 as usize, transfer, self.cycle);
         }
-        Ok(())
     }
 
-    /// Applies a control transfer to thread `i` at cycle `now`.
+    /// Applies a control transfer to thread `i` at cycle `now`. Row
+    /// bounds and widths come off the decoded metadata — the per-advance
+    /// path never dereferences the program.
     fn apply_transfer(&mut self, i: usize, transfer: Transfer, now: u64) {
         self.transfers[i] = None;
         let t = &mut self.threads[i];
-        let seg_len = self.program.segment(t.segment).rows.len() as u32;
+        let seg_len = self.code.seg_len(t.segment);
         match transfer {
             Transfer::Halt => {
                 t.halt(now);
@@ -1232,8 +1136,12 @@ impl Machine {
             }
             Transfer::To(target) => {
                 t.ip = target;
-                let n = self.program.segment(self.threads[i].segment).rows[target as usize].len();
-                self.threads[i].enter_row(n);
+                let n = self
+                    .code
+                    .row(t.segment, target)
+                    .expect("validated branch target")
+                    .n_slots as usize;
+                t.enter_row(n);
                 if n == 0 {
                     // An empty row is eligible to advance again next cycle.
                     self.advance_hint = true;
@@ -1245,9 +1153,12 @@ impl Machine {
                     self.live.retain(|&id| id as usize != i);
                 } else {
                     t.ip += 1;
-                    let ip = t.ip as usize;
-                    let n = self.program.segment(self.threads[i].segment).rows[ip].len();
-                    self.threads[i].enter_row(n);
+                    let n = self
+                        .code
+                        .row(t.segment, t.ip)
+                        .expect("fall-through stays in range")
+                        .n_slots as usize;
+                    t.enter_row(n);
                     if n == 0 {
                         self.advance_hint = true;
                     }
@@ -1256,18 +1167,84 @@ impl Machine {
         }
     }
 
-    fn enqueue_writeback(&mut self, thread: ThreadId, fu: FuId, dsts: RegList, value: Value) {
+    /// Retires an op's result by its decoded-slot handle: destination
+    /// lists are read back from the slot record instead of being copied
+    /// through the pipelines and the memory token slab. Applies the
+    /// write directly when the interconnect is contention-free and
+    /// unobserved (same argument as in [`Self::enqueue_writeback`]);
+    /// otherwise clones the lists into a queued writeback.
+    fn retire_result(&mut self, thread: ThreadId, fu: FuId, op: u32, value: Value) {
+        let sm = &self.code.ops[op as usize];
+        if sm.dsts_flat.is_empty() {
+            return;
+        }
+        if !self.obs.on && self.xconn.contention_free() {
+            let flats = sm.dsts_flat.clone();
+            let remote = sm.wb_remote;
+            self.xconn
+                .record_uncontended_grants(flats.len() as u64, u64::from(remote));
+            let ti = thread.0 as usize;
+            if self.threads[ti].is_alive() {
+                for di in (0..flats.len()).rev() {
+                    let flat = flats[di];
+                    self.threads[ti].regs.complete_write_at(flat, value);
+                    self.update_ready_after_write(ti, flat);
+                }
+            }
+            return;
+        }
+        let sm = &self.code.ops[op as usize];
+        let (dsts, flats, remote) = (sm.dsts.clone(), sm.dsts_flat.clone(), sm.wb_remote);
+        self.enqueue_writeback(thread, fu, dsts, flats, remote, value);
+    }
+
+    fn enqueue_writeback(
+        &mut self,
+        thread: ThreadId,
+        fu: FuId,
+        dsts: RegList,
+        dsts_flat: FlatList,
+        remote: u8,
+        value: Value,
+    ) {
         // A result with no destinations retires on the spot: queueing it
         // would occupy a writeback slot no arbitration round could drain.
         if dsts.is_empty() {
             return;
         }
+        // Under a contention-free interconnect with no observer attached,
+        // queueing is pure ceremony: everything enqueued this cycle fully
+        // drains in this same cycle's retirement phase, the write-buffer
+        // issue gate never fires (issue sees post-drain queues), and the
+        // scoreboard's no-writers gate makes two same-cycle writebacks to
+        // one register impossible — so applying the write on the spot is
+        // order-insensitive and bit-identical, and skips the queue
+        // entirely. Row changes between here and the retirement phase
+        // cannot skew the dirty marking either: every control transfer
+        // marks the thread dirty itself ([`Thread::enter_row`]), which
+        // forces the same exact rebuild at the next issue phase.
+        if !self.obs.on && self.xconn.contention_free() {
+            self.xconn
+                .record_uncontended_grants(dsts_flat.len() as u64, u64::from(remote));
+            let ti = thread.0 as usize;
+            if self.threads[ti].is_alive() {
+                for di in (0..dsts_flat.len()).rev() {
+                    let flat = dsts_flat[di];
+                    self.threads[ti].regs.complete_write_at(flat, value);
+                    self.update_ready_after_write(ti, flat);
+                }
+            }
+            return;
+        }
         let seq = self.wb_seq;
         self.wb_seq += 1;
+        self.wb_total += 1;
         self.wb_queues[fu.0 as usize].push(Writeback {
             thread,
             fu,
             dsts,
+            dsts_flat,
+            remote,
             value,
             seq,
         });
@@ -1278,7 +1255,7 @@ impl Machine {
     fn retire_writebacks(&mut self) -> bool {
         // The overwhelmingly common cycle has nothing queued: get out
         // before touching any scratch state.
-        if self.wb_queues.iter().all(Vec::is_empty) {
+        if self.wb_total == 0 {
             return false;
         }
         // A contention-free interconnect grants every request, so an
@@ -1363,9 +1340,10 @@ impl Machine {
         granted.sort_unstable_by_key(|a| (a.0, a.1, std::cmp::Reverse(a.2)));
         let mut any = false;
         for &(qi, ei, di) in &granted {
-            let (thread, fu, value, dst) = {
+            let (thread, fu, value, flat) = {
                 let wb = &mut self.wb_queues[qi as usize][ei as usize];
-                (wb.thread, wb.fu, wb.value, wb.dsts.remove(di as usize))
+                wb.dsts.remove(di as usize);
+                (wb.thread, wb.fu, wb.value, wb.dsts_flat.remove(di as usize))
             };
             any = true;
             if let Some(sink) = &mut self.obs.sink {
@@ -1377,14 +1355,15 @@ impl Machine {
             }
             let t = &mut self.threads[thread.0 as usize];
             if t.is_alive() {
-                t.regs.complete_write(dst, value);
+                t.regs.complete_write_at(flat, value);
                 // Arriving data can make cached-unready slots ready.
-                self.update_ready_after_write(thread.0 as usize, dst);
+                self.update_ready_after_write(thread.0 as usize, flat);
             }
         }
         for q in &mut self.wb_queues {
             q.retain(|wb| !wb.dsts.is_empty());
         }
+        self.wb_total = self.wb_queues.iter().map(Vec::len).sum();
         self.scratch.wb_order = order;
         self.scratch.wb_reqs = reqs;
         self.scratch.wb_origin = origin;
@@ -1408,24 +1387,23 @@ impl Machine {
             }
             let mut queue = mem::take(&mut self.wb_queues[qi]);
             for wb in queue.drain(..) {
-                let src_cluster = self.config.fu(wb.fu).cluster;
-                for di in (0..wb.dsts.len()).rev() {
-                    let d = wb.dsts[di];
-                    grants += 1;
-                    if d.cluster != src_cluster {
-                        remote += 1;
-                    }
-                    let t = &mut self.threads[wb.thread.0 as usize];
-                    if t.is_alive() {
-                        t.regs.complete_write(d, wb.value);
-                        self.update_ready_after_write(wb.thread.0 as usize, d);
-                    }
+                grants += wb.dsts_flat.len() as u64;
+                remote += u64::from(wb.remote);
+                let ti = wb.thread.0 as usize;
+                if !self.threads[ti].is_alive() {
+                    continue;
+                }
+                for di in (0..wb.dsts_flat.len()).rev() {
+                    let flat = wb.dsts_flat[di];
+                    self.threads[ti].regs.complete_write_at(flat, wb.value);
+                    self.update_ready_after_write(ti, flat);
                 }
             }
             // Hand the emptied buffer back so the queue keeps its
             // capacity across cycles.
             self.wb_queues[qi] = queue;
         }
+        self.wb_total = 0;
         self.xconn.record_uncontended_grants(grants, remote);
         // Queued writebacks always carry at least one destination
         // (`enqueue_writeback` retires empty results on the spot), and
@@ -1439,10 +1417,11 @@ impl Machine {
         if self.config.lockstep_issue {
             return self.issue_all_lockstep(now);
         }
-        if self.scan_engine {
-            return self.issue_all_scan(now);
+        match self.engine {
+            EngineKind::Scan => self.issue_all_scan(now),
+            EngineKind::Event => self.issue_all_cached::<false>(now),
+            EngineKind::Decoded => self.issue_all_cached::<true>(now),
         }
-        self.issue_all_event(now)
     }
 
     /// Event-driven issue: each thread carries a cached per-unit
@@ -1451,30 +1430,53 @@ impl Machine {
     /// registers, memory completion). Candidate sets, arbitration, and
     /// issue order are exactly those of [`Machine::issue_all_scan`] —
     /// candidates accumulate in live order and feed the same
-    /// [`Machine::select`] — so the two engines are bit-identical; only
-    /// the cost of discovering candidates differs.
-    fn issue_all_event(&mut self, now: u64) -> Result<bool, SimError> {
+    /// [`Machine::select`] — so the engines are bit-identical; only the
+    /// cost of discovering candidates differs. `DECODED` selects the
+    /// flat decoded dispatch inside [`Machine::issue_one`]; candidate
+    /// discovery is shared.
+    fn issue_all_cached<const DECODED: bool>(&mut self, now: u64) -> Result<bool, SimError> {
         let mut any = false;
-        // One pass over the live threads repairs dirty caches and unions
-        // the units with at least one ready slot.
+        // One pass over the live threads repairs dirty caches, unions the
+        // units with at least one ready slot, and distributes each
+        // thread's ready slots into per-unit candidate buckets — visiting
+        // threads in live (spawn) order, so every bucket holds its
+        // candidates in exactly the order the reference engine's per-unit
+        // rescan produces.
+        // Buckets are left empty on exit (cleared below by `unit_mask`),
+        // so entry skips the per-unit sweep entirely.
+        let mut buckets = mem::take(&mut self.scratch.buckets);
+        debug_assert!(buckets.iter().all(Vec::is_empty));
         let mut unit_mask = 0u64;
         for li in 0..self.live.len() {
             let ti = self.live[li] as usize;
             if self.threads[ti].ready_dirty {
                 self.refresh_ready(ti);
             }
-            unit_mask |= self.threads[ti].ready_units;
+            let t = &self.threads[ti];
+            let mut m = t.ready_units;
+            if m == 0 {
+                continue;
+            }
+            unit_mask |= m;
+            // A set readiness bit implies a current row exists.
+            let row = self.code.row(t.segment, t.ip).expect("ready bit, no row");
+            let slot_of_unit = self.code.slot_of_unit(row);
+            while m != 0 {
+                let u = m.trailing_zeros() as usize;
+                m &= m - 1;
+                buckets[u].push((t.id, slot_of_unit[u]));
+            }
         }
         // Units outside `unit_mask` have no candidates: the reference
         // engine skips them without touching arbitration state, so the
-        // event engine may too. Within one cycle's issue phase a thread's
-        // readiness only ever *shrinks* (its own issues claim registers
-        // and add outstanding traffic; nothing completes mid-phase), and
-        // every issue repairs its thread's cache in place
-        // ([`Machine::update_ready_after_issue`]), so the caches stay
-        // exact across the whole phase: each unit's candidates are read
-        // straight off the bitmasks at its turn, in live (spawn) order —
-        // the order the reference engine's per-unit rescan produces.
+        // cached engines may too. Within one cycle's issue phase a
+        // thread's readiness only ever *shrinks* (its own issues claim
+        // registers and add outstanding traffic; nothing completes
+        // mid-phase), and every issue repairs its thread's cache in place
+        // ([`Machine::update_ready_after_issue`]), so each bucket is a
+        // superset of the unit's candidates at its turn: re-checking the
+        // (exact) bitmask bit filters out entries stale by an earlier
+        // issue this phase.
         let mut candidates = mem::take(&mut self.scratch.cand);
         let mut m = unit_mask;
         while m != 0 {
@@ -1490,12 +1492,9 @@ impl Machine {
             }
             let bit = 1u64 << fu_idx;
             candidates.clear();
-            for &ti in &self.live {
-                let t = &self.threads[ti as usize];
-                if t.ready_units & bit != 0 {
-                    let slot =
-                        self.code[t.segment.0 as usize].rows[t.ip as usize].slot_of_unit[fu_idx];
-                    candidates.push((t.id, slot as usize));
+            for &(tid, slot) in &buckets[fu_idx] {
+                if self.threads[tid.0 as usize].ready_units & bit != 0 {
+                    candidates.push((tid, slot as usize));
                 }
             }
             let Some(&(tid, slot_idx)) = self.select(fu, &candidates) else {
@@ -1510,10 +1509,19 @@ impl Machine {
                     });
                 }
             }
-            self.issue_one(now, fu, tid, slot_idx)?;
+            self.issue_one::<DECODED>(now, fu, tid, slot_idx)?;
             any = true;
         }
+        // Leave every touched bucket empty for the next cycle (exactly
+        // the `unit_mask` units were filled; the rest never changed).
+        let mut m = unit_mask;
+        while m != 0 {
+            let u = m.trailing_zeros() as usize;
+            m &= m - 1;
+            buckets[u].clear();
+        }
         self.scratch.cand = candidates;
+        self.scratch.buckets = buckets;
         Ok(any)
     }
 
@@ -1525,16 +1533,34 @@ impl Machine {
         let t = &self.threads[ti];
         let mut mask = 0u64;
         if t.state == ThreadState::Running {
-            let seg_meta = &self.code[t.segment.0 as usize];
-            if let Some(row_meta) = seg_meta.rows.get(t.ip as usize) {
-                for (i, sm) in row_meta.slots.iter().enumerate() {
-                    if t.issued[i]
-                        || !t.regs.masks_ready(&sm.src, &sm.dst)
-                        || !Self::order_ok(t, &sm.order)
-                    {
-                        continue;
+            if let Some(row) = self.code.row(t.segment, t.ip) {
+                let slots = self.code.slots(row);
+                if row.two_word {
+                    // Fast grade: the whole row's operand masks live in
+                    // bit words 0 and 1, loaded once for the walk.
+                    let (p0, p1, w0, w1) = t.regs.words01();
+                    for (sm, &issued) in slots.iter().zip(&t.issued) {
+                        if issued
+                            || (p0 & sm.src01[0]) != sm.src01[0]
+                            || (p1 & sm.src01[1]) != sm.src01[1]
+                            || (w0 & sm.dst01[0]) != 0
+                            || (w1 & sm.dst01[1]) != 0
+                            || (sm.has_order && !Self::order_ok(t, &sm.order))
+                        {
+                            continue;
+                        }
+                        mask |= 1u64 << sm.fu.0;
                     }
-                    mask |= 1u64 << sm.fu.0;
+                } else {
+                    for (sm, &issued) in slots.iter().zip(&t.issued) {
+                        if issued
+                            || !t.regs.masks_ready(&sm.src, &sm.dst)
+                            || (sm.has_order && !Self::order_ok(t, &sm.order))
+                        {
+                            continue;
+                        }
+                        mask |= 1u64 << sm.fu.0;
+                    }
                 }
             }
         }
@@ -1543,43 +1569,33 @@ impl Machine {
         t.ready_dirty = false;
     }
 
-    /// Targeted repair of a clean readiness cache after register `r` of
-    /// thread `ti` was written: only slots referencing `r` (as a source
-    /// presence bit or a destination scoreboard bit) can change grade, so
-    /// exactly those are re-graded — in either direction, since a
-    /// writeback can flip a ready memory slot's hazard address. A dirty
-    /// cache stays dirty (the scan and lockstep engines never clean
-    /// theirs, so they are unaffected).
-    fn update_ready_after_write(&mut self, ti: usize, r: RegId) {
+    /// Invalidates a clean readiness cache after the register at flat
+    /// index `bit` of thread `ti` was written — but only when it can
+    /// actually change a grade: the row-level touch union rejects
+    /// writebacks landing registers consumed by *later* rows without
+    /// walking the slots. A hit marks the cache dirty rather than
+    /// repairing in place, so a burst of same-cycle writebacks costs one
+    /// [`Machine::refresh_ready`] at the next issue phase instead of one
+    /// row walk per destination. (The scan and lockstep engines never
+    /// clean their caches, so they are unaffected.)
+    fn update_ready_after_write(&mut self, ti: usize, bit: u32) {
         let t = &self.threads[ti];
         if t.ready_dirty || t.state != ThreadState::Running {
             return;
         }
-        let seg_meta = &self.code[t.segment.0 as usize];
-        let Some(row_meta) = seg_meta.rows.get(t.ip as usize) else {
+        let Some(row) = self.code.row(t.segment, t.ip) else {
             return;
         };
-        let bit = (seg_meta.base[r.cluster.0 as usize] + r.index) as usize;
-        let key = (bit / 64) as u32;
+        let key = bit / 64;
         let m = 1u64 << (bit % 64);
-        let mut mask = t.ready_units;
-        for (i, sm) in row_meta.slots.iter().enumerate() {
-            // Issued slots can never regain readiness; their unit bit is
-            // already clear, so nothing to re-grade.
-            if t.issued[i] {
-                continue;
-            }
-            if !sm.touch.iter().any(|&(k, w)| k == key && w & m != 0) {
-                continue;
-            }
-            let ub = 1u64 << sm.fu.0;
-            if t.regs.masks_ready(&sm.src, &sm.dst) && Self::order_ok(t, &sm.order) {
-                mask |= ub;
-            } else {
-                mask &= !ub;
-            }
+        let hit = if key < 2 {
+            row.touch01[key as usize] & m != 0
+        } else {
+            row.touch_union.iter().any(|&(k, w)| k == key && w & m != 0)
+        };
+        if hit {
+            self.threads[ti].ready_dirty = true;
         }
-        self.threads[ti].ready_units = mask;
     }
 
     /// Targeted repair of a clean readiness cache after some of thread
@@ -1592,17 +1608,18 @@ impl Machine {
         if t.ready_dirty || t.state != ThreadState::Running {
             return;
         }
-        let seg_meta = &self.code[t.segment.0 as usize];
-        let Some(row_meta) = seg_meta.rows.get(t.ip as usize) else {
+        let Some(row) = self.code.row(t.segment, t.ip) else {
             return;
         };
-        let mut add = row_meta.ordered_units & !t.ready_units;
+        let slots = self.code.slots(row);
+        let slot_of_unit = self.code.slot_of_unit(row);
+        let mut add = row.ordered_units & !t.ready_units;
         let mut mask = t.ready_units;
         while add != 0 {
             let u = add.trailing_zeros() as usize;
             add &= add - 1;
-            let i = row_meta.slot_of_unit[u] as usize;
-            let sm = &row_meta.slots[i];
+            let i = slot_of_unit[u] as usize;
+            let sm = &slots[i];
             if !t.issued[i] && t.regs.masks_ready(&sm.src, &sm.dst) && Self::order_ok(t, &sm.order)
             {
                 mask |= 1u64 << u;
@@ -1615,6 +1632,7 @@ impl Machine {
     /// form of the `OpKind` match inside [`Machine::readiness`] (register
     /// readiness was already established by the packed-mask check). The
     /// differential tests pin the two implementations to each other.
+    #[inline]
     fn order_ok(t: &Thread, rule: &OrderRule) -> bool {
         match rule {
             OrderRule::None => true,
@@ -1625,8 +1643,14 @@ impl Machine {
                 off,
                 is_store,
             } => {
+                // No outstanding traffic cannot conflict — skip the
+                // address computation entirely (the common case on the
+                // first reference of a burst).
+                if t.outstanding_mem.is_empty() {
+                    return true;
+                }
                 let v = |o: &AddrOperand| match o {
-                    AddrOperand::Reg(r) => t.regs.value(*r).as_int(),
+                    AddrOperand::Reg(idx) => t.regs.value_at(*idx).as_int(),
                     AddrOperand::Imm(i) => Ok(*i),
                 };
                 let addr = match (v(base), v(off)) {
@@ -1642,9 +1666,9 @@ impl Machine {
     }
 
     /// The scan-every-cycle reference engine: rescans every live
-    /// thread's row for every unit. Selectable via
-    /// [`Machine::use_reference_engine`] as the oracle the event-driven
-    /// engine is verified against.
+    /// thread's row for every unit, grading readiness straight off the
+    /// program's operations. Selectable via [`Machine::set_engine`] as
+    /// the oracle the cached engines are verified against.
     fn issue_all_scan(&mut self, now: u64) -> Result<bool, SimError> {
         let mut any = false;
         let mut candidates = mem::take(&mut self.scratch.cand);
@@ -1687,7 +1711,7 @@ impl Machine {
                     });
                 }
             }
-            self.issue_one(now, fu, tid, slot_idx)?;
+            self.issue_one::<false>(now, fu, tid, slot_idx)?;
             any = true;
         }
         self.scratch.cand = candidates;
@@ -1740,7 +1764,7 @@ impl Machine {
             );
             for &(fu, slot_idx) in &slots {
                 used_units.push(fu);
-                self.issue_one(now, fu, ThreadId(ti), slot_idx as usize)?;
+                self.issue_one::<false>(now, fu, ThreadId(ti), slot_idx as usize)?;
                 any = true;
             }
         }
@@ -1835,6 +1859,14 @@ impl Machine {
         if candidates.is_empty() {
             return None;
         }
+        // A lone candidate wins under either policy; round-robin still
+        // records it so the next contended round starts past it.
+        if let [only] = candidates {
+            if matches!(self.config.arbitration, ArbitrationPolicy::RoundRobin) {
+                self.rr[fu.0 as usize] = only.0 .0 + 1;
+            }
+            return Some(only);
+        }
         match self.config.arbitration {
             ArbitrationPolicy::FixedPriority => candidates
                 .iter()
@@ -1856,32 +1888,82 @@ impl Machine {
 
     /// Issues one operation: reads sources, claims destinations, enters
     /// the pipeline / memory system / probe trace.
-    fn issue_one(
+    ///
+    /// `DECODED` selects the flat dispatch: operands gather through
+    /// pre-resolved flat register indices and unboxed immediates
+    /// ([`DecSrc`]), destinations claim through flat indices, and the
+    /// latency comes off the decoded record. The event engine (`false`)
+    /// keeps the boxed [`pc_isa::Operand`] path as an oracle.
+    /// Enqueues a precomputed effect on `fu`'s pipeline, due at `done`,
+    /// maintaining the O(1) due-cycle counters.
+    fn push_pipe(&mut self, fu: FuId, tid: ThreadId, op: u32, payload: ExecPayload, done: u64) {
+        self.pipe_next[fu.0 as usize] = self.pipe_next[fu.0 as usize].min(done);
+        self.next_pipe_due = self.next_pipe_due.min(done);
+        self.pipe_total += 1;
+        debug_assert!(self.pipes[fu.0 as usize]
+            .back()
+            .map_or(true, |b| b.done <= done));
+        self.pipes[fu.0 as usize].push_back(Exec {
+            thread: tid,
+            op,
+            payload,
+            done,
+        });
+    }
+
+    fn issue_one<const DECODED: bool>(
         &mut self,
         now: u64,
         fu: FuId,
         tid: ThreadId,
         slot_idx: usize,
     ) -> Result<(), SimError> {
-        let latency = self.config.fu(fu).latency as u64;
         let t = &mut self.threads[tid.0 as usize];
         let seg_id = t.segment;
         let row = t.ip;
         // The slot metadata self-contains operands, destinations, and the
         // action, so steady-state issue never dereferences the program
-        // (only the trace block below does, for the mnemonic).
-        let sm = &self.code[seg_id.0 as usize].rows[row as usize].slots[slot_idx];
-        let vals: ValList = sm
-            .srcs
-            .iter()
-            .map(|s| match s {
-                pc_isa::Operand::Reg(r) => t.regs.value(*r),
-                pc_isa::Operand::ImmInt(i) => Value::Int(*i),
-                pc_isa::Operand::ImmFloat(f) => Value::Float(*f),
-            })
-            .collect();
-        for d in sm.dsts.iter() {
-            t.regs.begin_write(*d);
+        // (only the trace block below does, for the mnemonic). The op
+        // index is resolved once here and rides the pipeline entry, so
+        // completion reaches the record in a single load.
+        let op_idx = self
+            .code
+            .row(seg_id, row)
+            .expect("issue targets a current row")
+            .op_base
+            + slot_idx as u32;
+        let sm = &self.code.ops[op_idx as usize];
+        let latency = if DECODED {
+            sm.latency
+        } else {
+            self.config.fu(fu).latency as u64
+        };
+        let vals: ValList = if DECODED {
+            sm.srcs
+                .iter()
+                .map(|s| match s {
+                    DecSrc::Reg(i) => t.regs.value_at(*i),
+                    DecSrc::Imm(v) => *v,
+                })
+                .collect()
+        } else {
+            sm.srcs_ops
+                .iter()
+                .map(|s| match s {
+                    pc_isa::Operand::Reg(r) => t.regs.value(*r),
+                    pc_isa::Operand::ImmInt(i) => Value::Int(*i),
+                    pc_isa::Operand::ImmFloat(f) => Value::Float(*f),
+                })
+                .collect()
+        };
+        if DECODED {
+            for &i in sm.dsts_flat.iter() {
+                t.regs.begin_write_at(i);
+            }
+        } else {
+            for d in sm.dsts.iter() {
+                t.regs.begin_write(*d);
+            }
         }
         t.issued[slot_idx] = true;
         t.unissued -= 1;
@@ -1893,6 +1975,7 @@ impl Machine {
         // the end of this function; a dirty one stays dirty.
         let was_clean = !t.ready_dirty;
         let action = sm.action;
+        let tag = sm.tag;
         self.ops_issued += 1;
         self.ops_by_unit[fu.0 as usize] += 1;
         if self.obs.profiling {
@@ -1938,7 +2021,7 @@ impl Machine {
                         fu,
                         is_load: matches!(m, MemOp::Load(_)),
                     },
-                    sm.dsts.clone(),
+                    op_idx,
                 );
                 // The reference spends the unit's latency in the pipeline
                 // before reaching the memory system proper; we fold that
@@ -1969,28 +2052,33 @@ impl Machine {
             }
             SlotAction::Branch => {
                 self.threads[tid.0 as usize].branch_pending = true;
-                let done = now + latency;
-                self.pipe_next[fu.0 as usize] = self.pipe_next[fu.0 as usize].min(done);
-                self.pipes[fu.0 as usize].push(Exec {
-                    thread: tid,
-                    seg: seg_id,
-                    row,
-                    slot: slot_idx as u32,
-                    vals,
-                    done,
-                });
+                let payload = if DECODED {
+                    Self::branch_payload_dec(&self.code.ops[op_idx as usize].branch, vals)?
+                } else {
+                    let (_, pop) =
+                        &self.program.segment(seg_id).rows[row as usize].slots()[slot_idx];
+                    match &pop.kind {
+                        OpKind::Branch(b) => Self::branch_payload(b, vals)?,
+                        _ => unreachable!("SlotAction::Branch indexes a branch op"),
+                    }
+                };
+                self.push_pipe(fu, tid, op_idx, payload, now + latency);
             }
-            SlotAction::Int(_) | SlotAction::Float(_) => {
-                let done = now + latency;
-                self.pipe_next[fu.0 as usize] = self.pipe_next[fu.0 as usize].min(done);
-                self.pipes[fu.0 as usize].push(Exec {
-                    thread: tid,
-                    seg: seg_id,
-                    row,
-                    slot: slot_idx as u32,
-                    vals,
-                    done,
-                });
+            SlotAction::Int(iop) => {
+                let v = if DECODED {
+                    op::eval_alu(tag, vals.as_slice())?
+                } else {
+                    op::eval_int(iop, vals.as_slice())?
+                };
+                self.push_pipe(fu, tid, op_idx, ExecPayload::Result(v), now + latency);
+            }
+            SlotAction::Float(fop) => {
+                let v = if DECODED {
+                    op::eval_alu(tag, vals.as_slice())?
+                } else {
+                    op::eval_float(fop, vals.as_slice())?
+                };
+                self.push_pipe(fu, tid, op_idx, ExecPayload::Result(v), now + latency);
             }
         }
         if was_clean {
@@ -2016,20 +2104,37 @@ impl Machine {
     fn update_ready_after_issue(&mut self, ti: usize, slot_idx: usize, added_mem: bool) {
         let mask = {
             let t = &self.threads[ti];
-            let row_meta = &self.code[t.segment.0 as usize].rows[t.ip as usize];
-            let sm = &row_meta.slots[slot_idx];
+            let row = self
+                .code
+                .row(t.segment, t.ip)
+                .expect("issued slot implies a current row");
+            let slots = self.code.slots(row);
+            let slot_of_unit = self.code.slot_of_unit(row);
+            let sm = &slots[slot_idx];
             let mut mask = t.ready_units & !(1u64 << sm.fu.0);
             let mut recheck = sm.kills & mask;
             if added_mem {
-                recheck |= row_meta.ordered_units & mask;
+                recheck |= row.ordered_units & mask;
             }
-            while recheck != 0 {
-                let u = recheck.trailing_zeros() as usize;
-                recheck &= recheck - 1;
-                let i = row_meta.slot_of_unit[u] as usize;
-                let smi = &row_meta.slots[i];
-                if !t.regs.masks_ready(&smi.src, &smi.dst) || !Self::order_ok(t, &smi.order) {
-                    mask &= !(1u64 << u);
+            if recheck != 0 {
+                let two = row.two_word;
+                let (p0, p1, w0, w1) = t.regs.words01();
+                while recheck != 0 {
+                    let u = recheck.trailing_zeros() as usize;
+                    recheck &= recheck - 1;
+                    let i = slot_of_unit[u] as usize;
+                    let smi = &slots[i];
+                    let data_ready = if two {
+                        (p0 & smi.src01[0]) == smi.src01[0]
+                            && (p1 & smi.src01[1]) == smi.src01[1]
+                            && (w0 & smi.dst01[0]) == 0
+                            && (w1 & smi.dst01[1]) == 0
+                    } else {
+                        t.regs.masks_ready(&smi.src, &smi.dst)
+                    };
+                    if !data_ready || (smi.has_order && !Self::order_ok(t, &smi.order)) {
+                        mask &= !(1u64 << u);
+                    }
                 }
             }
             mask
@@ -2613,7 +2718,9 @@ mod tests {
         // no-progress cycle with results still queued for write-port
         // arbitration (and nothing in pipelines or memory) would have been
         // misreported as a deadlock. With no work anywhere the machine
-        // reports nothing pending; with a queued writeback it must.
+        // reports nothing pending; with a queued writeback it must. A
+        // restricted interconnect keeps the queued path (a contention-free
+        // one applies writes on the spot and never queues).
         let mut row = InstWord::new();
         row.push(
             FuId(0),
@@ -2624,12 +2731,16 @@ mod tests {
             ),
         );
         let p = program_of(vec![row], vec![1, 0, 0, 0, 0, 0]);
-        let mut m = Machine::new(MachineConfig::baseline(), p).unwrap();
+        let mc =
+            MachineConfig::baseline().with_interconnect(pc_isa::InterconnectScheme::SinglePort);
+        let mut m = Machine::new(mc, p).unwrap();
         assert!(!m.pending_latency());
         m.enqueue_writeback(
             ThreadId(0),
             FuId(0),
             RegList::from_slice(&[r(0, 0)]),
+            FlatList::from_slice(&[0]),
+            0,
             Value::Int(1),
         );
         assert!(m.pending_latency());
@@ -2652,7 +2763,14 @@ mod tests {
         );
         let p = program_of(vec![row], vec![1, 0, 0, 0, 0, 0]);
         let mut m = Machine::new(MachineConfig::baseline(), p).unwrap();
-        m.enqueue_writeback(ThreadId(0), FuId(0), RegList::new(), Value::Int(3));
+        m.enqueue_writeback(
+            ThreadId(0),
+            FuId(0),
+            RegList::new(),
+            FlatList::new(),
+            0,
+            Value::Int(3),
+        );
         assert!(!m.pending_latency());
         assert!(!m.retire_writebacks());
     }
@@ -2824,20 +2942,57 @@ mod tests {
     fn event_engine_matches_reference_engine() {
         // The contention program exercises arbitration losses, writeback
         // bursts, and memory ordering — the paths whose readiness-cache
-        // repairs must reproduce the scan engine's schedule exactly.
+        // repairs and decoded dispatch must reproduce the scan engine's
+        // schedule exactly.
         for profiled in [false, true] {
-            let mut fast = Machine::new(MachineConfig::baseline(), contention_program()).unwrap();
             let mut reference =
                 Machine::new(MachineConfig::baseline(), contention_program()).unwrap();
-            reference.use_reference_engine(true);
+            reference.set_engine(EngineKind::Scan);
             if profiled {
-                fast.enable_profiling();
                 reference.enable_profiling();
             }
-            let a = fast.run(10_000).unwrap();
             let b = reference.run(10_000).unwrap();
-            assert_eq!(a, b, "engines diverge (profiled={profiled})");
+            for kind in [EngineKind::Decoded, EngineKind::Event] {
+                let mut fast =
+                    Machine::new(MachineConfig::baseline(), contention_program()).unwrap();
+                fast.set_engine(kind);
+                if profiled {
+                    fast.enable_profiling();
+                }
+                let a = fast.run(10_000).unwrap();
+                assert_eq!(
+                    a,
+                    b,
+                    "{} engine diverges from scan (profiled={profiled})",
+                    kind.name()
+                );
+            }
         }
+    }
+
+    #[test]
+    fn deprecated_reference_engine_shim_maps_to_scan() {
+        let mut m = Machine::new(MachineConfig::baseline(), contention_program()).unwrap();
+        assert_eq!(m.engine(), EngineKind::Decoded);
+        #[allow(deprecated)]
+        m.use_reference_engine(true);
+        assert_eq!(m.engine(), EngineKind::Scan);
+        #[allow(deprecated)]
+        m.use_reference_engine(false);
+        assert_eq!(m.engine(), EngineKind::Decoded);
+    }
+
+    #[test]
+    fn engine_kind_parses_and_prints() {
+        for (s, k) in [
+            ("decoded", EngineKind::Decoded),
+            ("event", EngineKind::Event),
+            ("scan", EngineKind::Scan),
+        ] {
+            assert_eq!(s.parse::<EngineKind>().unwrap(), k);
+            assert_eq!(k.name(), s);
+        }
+        assert!("fast".parse::<EngineKind>().is_err());
     }
 
     #[test]

@@ -1,6 +1,14 @@
 //! Per-thread distributed register files with presence bits and an
 //! in-flight-writer scoreboard.
 //!
+//! Storage is **flat**: register `r` lives at index
+//! `base[r.cluster] + r.index` in a single values array, the same
+//! numbering as the packed bitset layout ([`bit_layout`]) — so one flat
+//! index addresses the value, the writer count, the presence bit, and
+//! the writing bit alike. The decode-once backend pre-resolves operands
+//! to these flat indices; the `RegId` API below is a thin wrapper that
+//! computes the index on demand.
+//!
 //! Besides the per-register state, the file mirrors two packed u64
 //! bitsets — presence and "has in-flight writers" — over all clusters,
 //! so the issue engine can test a whole operand set with a few mask
@@ -15,7 +23,8 @@ pub(crate) type MaskWord = (u32, u64);
 /// Packed-bit layout of a distributed register set: returns the bit
 /// base of each cluster (register `r` lives at bit
 /// `base[r.cluster] + r.index`, packed little-endian into u64 words)
-/// and the number of words needed.
+/// and the number of words needed. The bit number doubles as the flat
+/// storage index of the register.
 pub(crate) fn bit_layout(regs_per_cluster: &[u32], n_clusters: usize) -> (Vec<u32>, usize) {
     let mut base = Vec::with_capacity(n_clusters);
     let mut total = 0u32;
@@ -26,27 +35,6 @@ pub(crate) fn bit_layout(regs_per_cluster: &[u32], n_clusters: usize) -> (Vec<u3
     (base, (total as usize).div_ceil(64))
 }
 
-/// State of one register.
-#[derive(Debug, Clone, Copy)]
-struct RegState {
-    value: Value,
-    /// Presence (valid) bit: set by writeback, cleared at issue of a
-    /// writing operation.
-    present: bool,
-    /// Number of in-flight operations that will write this register.
-    writers: u8,
-}
-
-impl Default for RegState {
-    fn default() -> Self {
-        RegState {
-            value: Value::Int(0),
-            present: false,
-            writers: 0,
-        }
-    }
-}
-
 /// A thread's logical register set, distributed over all clusters it uses
 /// ("a thread's register set is distributed over all of the clusters that
 /// it uses").
@@ -55,9 +43,14 @@ impl Default for RegState {
 /// fill them.
 #[derive(Debug, Clone, Default)]
 pub struct RegFileSet {
-    files: Vec<Vec<RegState>>,
-    /// Bit base of each cluster in the packed words ([`bit_layout`]).
+    /// Flat values, one per register over all clusters.
+    values: Vec<Value>,
+    /// Flat in-flight-writer counts, parallel to `values`.
+    writers: Vec<u8>,
+    /// Flat base of each cluster ([`bit_layout`]).
     base: Vec<u32>,
+    /// Per-cluster file sizes (diagnostics only).
+    lens: Vec<u32>,
     /// Packed presence bits, one per register.
     present: Vec<u64>,
     /// Packed "writers > 0" bits, one per register.
@@ -68,45 +61,48 @@ impl RegFileSet {
     /// Creates register files sized per cluster. `regs_per_cluster[c]` is
     /// the file size in cluster `c`; missing entries mean zero registers.
     pub fn new(regs_per_cluster: &[u32], n_clusters: usize) -> Self {
-        let mut files = Vec::with_capacity(n_clusters);
-        for c in 0..n_clusters {
-            let n = regs_per_cluster.get(c).copied().unwrap_or(0) as usize;
-            files.push(vec![RegState::default(); n]);
-        }
         let (base, words) = bit_layout(regs_per_cluster, n_clusters);
+        let lens: Vec<u32> = (0..n_clusters)
+            .map(|c| regs_per_cluster.get(c).copied().unwrap_or(0))
+            .collect();
+        let total = lens.iter().sum::<u32>() as usize;
         RegFileSet {
-            files,
+            values: vec![Value::Int(0); total],
+            writers: vec![0; total],
             base,
+            lens,
             present: vec![0; words],
             writing: vec![0; words],
         }
     }
 
-    fn slot(&self, r: RegId) -> &RegState {
-        &self.files[r.cluster.0 as usize][r.index as usize]
-    }
-
-    fn slot_mut(&mut self, r: RegId) -> &mut RegState {
-        &mut self.files[r.cluster.0 as usize][r.index as usize]
-    }
-
-    fn bit(&self, r: RegId) -> usize {
-        (self.base[r.cluster.0 as usize] + r.index) as usize
+    /// Flat storage index of a register — also its packed bit number.
+    #[inline]
+    pub(crate) fn flat(&self, r: RegId) -> u32 {
+        self.base[r.cluster.0 as usize] + r.index
     }
 
     /// True when the register holds valid data.
     pub fn is_present(&self, r: RegId) -> bool {
-        self.slot(r).present
+        let bit = self.flat(r) as usize;
+        self.present[bit / 64] >> (bit % 64) & 1 != 0
     }
 
     /// True when no in-flight operation targets the register.
     pub fn no_writers(&self, r: RegId) -> bool {
-        self.slot(r).writers == 0
+        self.writers[self.flat(r) as usize] == 0
     }
 
     /// The current value (meaningful only when present).
     pub fn value(&self, r: RegId) -> Value {
-        self.slot(r).value
+        self.values[self.flat(r) as usize]
+    }
+
+    /// The value at a pre-resolved flat index (meaningful only when
+    /// present) — the decoded backend's operand gather.
+    #[inline]
+    pub fn value_at(&self, idx: u32) -> Value {
+        self.values[idx as usize]
     }
 
     /// Tests a whole operand set in packed form: true when every masked
@@ -120,13 +116,31 @@ impl RegFileSet {
             && dst.iter().all(|&(w, m)| self.writing[w as usize] & m == 0)
     }
 
+    /// Presence and writing words 0 and 1 as `(p0, p1, w0, w1)` — loaded
+    /// once per row walk so the two-word readiness fast path grades each
+    /// slot with four fixed compares. Missing words read as zero (files
+    /// under 65 registers have one word, empty files none).
+    #[inline]
+    pub(crate) fn words01(&self) -> (u64, u64, u64, u64) {
+        (
+            self.present.first().copied().unwrap_or(0),
+            self.present.get(1).copied().unwrap_or(0),
+            self.writing.first().copied().unwrap_or(0),
+            self.writing.get(1).copied().unwrap_or(0),
+        )
+    }
+
     /// Marks the register as the target of a newly issued operation:
     /// clears presence and counts the writer.
     pub fn begin_write(&mut self, r: RegId) {
-        let bit = self.bit(r);
-        let s = self.slot_mut(r);
-        s.present = false;
-        s.writers += 1;
+        self.begin_write_at(self.flat(r));
+    }
+
+    /// [`Self::begin_write`] at a pre-resolved flat index.
+    #[inline]
+    pub fn begin_write_at(&mut self, idx: u32) {
+        let bit = idx as usize;
+        self.writers[bit] += 1;
         self.present[bit / 64] &= !(1u64 << (bit % 64));
         self.writing[bit / 64] |= 1u64 << (bit % 64);
     }
@@ -138,13 +152,25 @@ impl RegFileSet {
     /// Panics if no writer was registered (issue/writeback mismatch — a
     /// simulator bug).
     pub fn complete_write(&mut self, r: RegId, value: Value) {
-        let bit = self.bit(r);
-        let s = self.slot_mut(r);
-        assert!(s.writers > 0, "writeback without issue on {r}");
-        s.writers -= 1;
-        s.value = value;
-        s.present = true;
-        if s.writers == 0 {
+        self.complete_write_at(self.flat(r), value);
+    }
+
+    /// [`Self::complete_write`] at a pre-resolved flat index — the
+    /// decoded backend's writeback retirement.
+    ///
+    /// # Panics
+    /// Panics if no writer was registered (issue/writeback mismatch — a
+    /// simulator bug).
+    #[inline]
+    pub fn complete_write_at(&mut self, idx: u32, value: Value) {
+        let bit = idx as usize;
+        assert!(
+            self.writers[bit] > 0,
+            "writeback without issue at flat index {idx}"
+        );
+        self.writers[bit] -= 1;
+        self.values[bit] = value;
+        if self.writers[bit] == 0 {
             self.writing[bit / 64] &= !(1u64 << (bit % 64));
         }
         self.present[bit / 64] |= 1u64 << (bit % 64);
@@ -153,26 +179,26 @@ impl RegFileSet {
     /// Directly installs a value with presence set and no writer
     /// bookkeeping — used for `fork` arguments at thread start.
     pub fn install(&mut self, r: RegId, value: Value) {
-        let bit = self.bit(r);
-        let s = self.slot_mut(r);
-        s.value = value;
-        s.present = true;
-        s.writers = 0;
+        let bit = self.flat(r) as usize;
+        self.values[bit] = value;
+        self.writers[bit] = 0;
         self.present[bit / 64] |= 1u64 << (bit % 64);
         self.writing[bit / 64] &= !(1u64 << (bit % 64));
     }
 
     /// Releases all storage (called when the thread halts).
     pub fn clear(&mut self) {
-        self.files = Vec::new();
+        self.values = Vec::new();
+        self.writers = Vec::new();
         self.base = Vec::new();
+        self.lens = Vec::new();
         self.present = Vec::new();
         self.writing = Vec::new();
     }
 
     /// Peak register count over clusters (diagnostics).
     pub fn peak_file_len(&self) -> usize {
-        self.files.iter().map(Vec::len).max().unwrap_or(0)
+        self.lens.iter().copied().max().unwrap_or(0) as usize
     }
 }
 
@@ -187,7 +213,7 @@ mod tests {
 
     /// The packed mask for a single register under this file's layout.
     fn mask(rf: &RegFileSet, reg: RegId) -> Vec<MaskWord> {
-        let bit = (rf.base[reg.cluster.0 as usize] + reg.index) as usize;
+        let bit = rf.flat(reg) as usize;
         vec![(bit as u32 / 64, 1u64 << (bit % 64))]
     }
 
@@ -263,6 +289,20 @@ mod tests {
             assert!(rf.is_present(reg));
             assert!(rf.no_writers(reg));
         }
+    }
+
+    #[test]
+    fn flat_index_api_matches_regid_api() {
+        let mut rf = RegFileSet::new(&[4, 2], 2);
+        let reg = r(1, 1);
+        let idx = rf.flat(reg);
+        assert_eq!(idx, 5);
+        rf.begin_write_at(idx);
+        assert!(!rf.is_present(reg));
+        assert!(!rf.no_writers(reg));
+        rf.complete_write(reg, Value::Int(3));
+        assert_eq!(rf.value_at(idx), Value::Int(3));
+        assert_eq!(rf.value(reg), rf.value_at(idx));
     }
 
     #[test]

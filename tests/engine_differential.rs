@@ -1,64 +1,74 @@
-//! Differential testing of the event-driven issue engine against the
-//! scan-every-cycle reference engine.
+//! Differential testing of the three issue engines against each other.
 //!
-//! The event engine (readiness bitmasks, targeted cache repair, bulk
-//! idle-cycle skipping) is a pure performance restructuring: for every
-//! benchmark and machine mode it must produce a [`pc_sim::RunStats`]
-//! that is *bit-identical* to the reference engine's — cycle counts,
-//! per-unit op counts, and the full stall table including the per-slot
-//! attribution counters. Any divergence is a scheduling bug, not noise.
+//! The decoded backend (pre-resolved operands, threaded-code dispatch)
+//! and the event engine (readiness bitmasks, targeted cache repair,
+//! bulk idle-cycle skipping) are pure performance restructurings: for
+//! every benchmark and machine mode they must produce a
+//! [`pc_sim::RunStats`] that is *bit-identical* to the scan-every-cycle
+//! reference engine's — cycle counts, per-unit op counts, and the full
+//! stall table including the per-slot attribution counters. Any
+//! divergence is a scheduling bug, not noise.
 
 use coupling::{benchmarks, MachineMode};
 use pc_isa::MachineConfig;
-use pc_sim::{Machine, RunStats};
+use pc_sim::{DecodedProgram, EngineKind, Machine, RunStats};
+use std::sync::Arc;
 
-/// Compiles and runs one benchmark variant on the chosen issue engine.
+/// Runs one benchmark variant on the chosen issue engine, from a
+/// shared decoded image (decode happens once per benchmark × mode, as
+/// it would at `Machine` load time).
 fn run_engine(
     bench: &coupling::Benchmark,
     mode: MachineMode,
-    reference: bool,
+    code: &Arc<DecodedProgram>,
+    engine: EngineKind,
     profiled: bool,
 ) -> RunStats {
-    let src = bench.source(mode).expect("variant exists");
-    let config = MachineConfig::baseline();
-    let out = pc_compiler::compile(src, &config, mode.schedule_mode())
-        .unwrap_or_else(|e| panic!("{} {}: {e}", bench.name, mode.label()));
-    let mut machine = Machine::new(config, out.program).unwrap();
-    machine.use_reference_engine(reference);
+    let mut machine = Machine::from_decoded(Arc::clone(code)).unwrap();
+    machine.set_engine(engine);
     if profiled {
         machine.enable_profiling();
     }
     (bench.setup)(&mut machine).unwrap();
     machine
         .run(20_000_000)
-        .unwrap_or_else(|e| panic!("{} {}: {e}", bench.name, mode.label()))
+        .unwrap_or_else(|e| panic!("{} {} {}: {e}", bench.name, mode.label(), engine.name()))
 }
 
-/// Asserts bit-identical stats across the two engines, plain and
-/// profiled, for every mode the benchmark supports.
+/// Asserts bit-identical stats across all three engines, plain and
+/// profiled, for every mode the benchmark supports. The scan engine is
+/// the oracle; decoded and event must match it exactly.
 fn engines_agree(bench: &coupling::Benchmark) {
     for mode in MachineMode::all() {
-        if bench.source(mode).is_none() {
+        let Some(src) = bench.source(mode) else {
             continue;
-        }
+        };
+        let config = MachineConfig::baseline();
+        let out = pc_compiler::compile(src, &config, mode.schedule_mode())
+            .unwrap_or_else(|e| panic!("{} {}: {e}", bench.name, mode.label()));
+        let code = Arc::new(DecodedProgram::decode(config, Arc::new(out.program)).unwrap());
         for profiled in [false, true] {
-            let fast = run_engine(bench, mode, false, profiled);
-            let reference = run_engine(bench, mode, true, profiled);
-            // The stall table first, for a readable failure.
-            assert_eq!(
-                fast.stalls,
-                reference.stalls,
-                "{} {} (profiled={profiled}): stall tables diverge",
-                bench.name,
-                mode.label()
-            );
-            assert_eq!(
-                fast,
-                reference,
-                "{} {} (profiled={profiled}): stats diverge",
-                bench.name,
-                mode.label()
-            );
+            let reference = run_engine(bench, mode, &code, EngineKind::Scan, profiled);
+            for engine in [EngineKind::Decoded, EngineKind::Event] {
+                let fast = run_engine(bench, mode, &code, engine, profiled);
+                // The stall table first, for a readable failure.
+                assert_eq!(
+                    fast.stalls,
+                    reference.stalls,
+                    "{} {} {} (profiled={profiled}): stall tables diverge",
+                    bench.name,
+                    mode.label(),
+                    engine.name()
+                );
+                assert_eq!(
+                    fast,
+                    reference,
+                    "{} {} {} (profiled={profiled}): stats diverge",
+                    bench.name,
+                    mode.label(),
+                    engine.name()
+                );
+            }
         }
     }
 }

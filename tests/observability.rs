@@ -103,6 +103,7 @@ fn jsonl_sink_round_trips_the_event_stream() {
         profile: false,
         jsonl: Some(path.clone()),
         chrome: None,
+        ..Observe::default()
     };
     let plain = run_benchmark(&bench, MachineMode::Coupled, MachineConfig::baseline()).unwrap();
     let out = run_benchmark_observed(
@@ -143,6 +144,7 @@ fn chrome_trace_is_well_formed_and_complete() {
         profile: false,
         jsonl: None,
         chrome: Some(path.clone()),
+        ..Observe::default()
     };
     let out = run_benchmark_observed(
         &bench,
@@ -277,6 +279,7 @@ fn sink_paths_create_parent_directories() {
         profile: false,
         jsonl: Some(jsonl.clone()),
         chrome: Some(chrome.clone()),
+        ..Observe::default()
     };
     run_benchmark_observed(
         &bench,
@@ -296,6 +299,7 @@ fn sink_paths_create_parent_directories() {
         profile: false,
         jsonl: Some(blocker.join("run.jsonl")),
         chrome: None,
+        ..Observe::default()
     };
     let err = run_benchmark_observed(&bench, MachineMode::Seq, MachineConfig::baseline(), &bad)
         .unwrap_err();
@@ -318,6 +322,7 @@ fn full_observability_stack_is_transparent() {
         profile: true,
         jsonl: Some(jsonl.clone()),
         chrome: Some(chrome.clone()),
+        ..Observe::default()
     };
     let plain = run_benchmark(&bench, MachineMode::Coupled, MachineConfig::baseline()).unwrap();
     let mut out = run_benchmark_observed(
