@@ -32,6 +32,10 @@ pub struct RunOutcome {
     /// the requested engine only when the machine forces a fallback
     /// (more than 64 units clamps to the scan engine).
     pub engine: EngineKind,
+    /// Host-side phase profile ([`Observe::host_telemetry`] runs only):
+    /// where the *host's* time went while simulating, as opposed to
+    /// `stats`, which says where the guest's cycles went.
+    pub host_profile: Option<pc_sim::HostProfile>,
 }
 
 /// Failures of the compile/simulate/validate pipeline.
@@ -127,6 +131,10 @@ pub struct Observe {
     /// bit-identical results; this only trades host cost for
     /// simplicity (the decoded default is the fastest).
     pub engine: EngineKind,
+    /// Collect the host-side phase profile (sampled wall timers and
+    /// wake-repair event counters; see [`pc_sim::HostProfile`]). Purely
+    /// host-side — the simulated results are bit-identical either way.
+    pub host_telemetry: bool,
 }
 
 impl Observe {
@@ -182,6 +190,9 @@ fn run_benchmark_full(
     if observe.profile {
         machine.enable_profiling();
     }
+    if observe.host_telemetry {
+        machine.enable_host_telemetry();
+    }
     let mut fan = Fanout::new();
     if let Some(path) = &observe.jsonl {
         let f = create_sink_file(path)?;
@@ -201,6 +212,7 @@ fn run_benchmark_full(
     // Flush sink trailers before the stats leave the machine.
     machine.take_probe();
     let engine = machine.engine();
+    let host_profile = machine.host_profile();
     (bench.check)(&mut machine).map_err(RunError::Check)?;
     Ok(RunOutcome {
         stats,
@@ -208,6 +220,7 @@ fn run_benchmark_full(
         peak_registers: peak,
         debug,
         engine,
+        host_profile,
     })
 }
 

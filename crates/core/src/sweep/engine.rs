@@ -19,6 +19,7 @@
 use super::cache::{cache_key, CachedResult, ResultCache};
 use super::codec::{escape_json, parse_json, stats_from_value, stats_to_json, Json};
 use super::pool::run_pool;
+use super::telemetry::SweepTelemetry;
 use crate::benchmarks::{self, Benchmark};
 use crate::mode::MachineMode;
 use crate::runner::{run_benchmark, RunError};
@@ -29,7 +30,9 @@ use std::fmt;
 use std::io::Write as _;
 use std::panic::resume_unwind;
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Version of the JSONL row / manifest schema.
 pub const SWEEP_SCHEMA_VERSION: u32 = 1;
@@ -324,6 +327,18 @@ pub struct SweepOptions {
     /// cells skipped (resume). Defaults to `<out>.manifest.json` when
     /// `out` is set.
     pub manifest: Option<PathBuf>,
+    /// Collect host-side telemetry (pool, cache, and reorder-buffer
+    /// metrics; see [`SweepTelemetry`]). Implied by `progress` and
+    /// `metrics_out`. Never perturbs the rows — the determinism
+    /// contract holds with telemetry on or off.
+    pub telemetry: bool,
+    /// Redraw a live progress line on stderr (cells/s, cache hit rate,
+    /// ETA, per-worker utilization) while the sweep runs.
+    pub progress: bool,
+    /// Append a JSONL telemetry snapshot to this file roughly twice a
+    /// second, plus one final snapshot when the sweep finishes. The
+    /// file is truncated at the start of the run.
+    pub metrics_out: Option<PathBuf>,
 }
 
 /// One completed cell.
@@ -437,15 +452,47 @@ pub struct SweepSummary {
     pub jobs: usize,
     /// Total wall-clock nanoseconds for the run.
     pub wall_ns: u64,
+    /// Final telemetry snapshot, when any telemetry surface
+    /// ([`SweepOptions::telemetry`] / `progress` / `metrics_out`) was
+    /// enabled.
+    pub telemetry: Option<pc_metrics::Snapshot>,
 }
 
 impl SweepSummary {
+    /// Wall-clock seconds for the run.
+    pub fn wall_s(&self) -> f64 {
+        self.wall_ns as f64 / 1e9
+    }
+
+    /// Newly produced rows per wall-clock second (0.0 for an instant or
+    /// empty run).
+    pub fn cells_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.rows.len() as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+
+    /// Cache hit rate over the newly produced rows, in `[0, 1]`
+    /// (0.0 when nothing ran).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.hits + self.misses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / (self.hits + self.misses) as f64
+        }
+    }
+
     /// One-line JSON summary (the `pcsim sweep` machine interface).
+    /// `wall_ns`, `wall_s`, and `cells_per_sec` are host measurements
+    /// and excluded from determinism comparisons.
     pub fn to_json(&self) -> String {
         format!(
             "{{\"summary\":true,\"schema\":{SWEEP_SCHEMA_VERSION},\"total_cells\":{},\
              \"prior_done\":{},\"ran\":{},\"hits\":{},\"misses\":{},\"jobs\":{},\
-             \"wall_ns\":{}}}",
+             \"wall_ns\":{},\"wall_s\":{:.3},\"cells_per_sec\":{:.1},\
+             \"cache_hit_rate\":{:.3}}}",
             self.total_cells,
             self.prior_done,
             self.rows.len(),
@@ -453,6 +500,9 @@ impl SweepSummary {
             self.misses,
             self.jobs,
             self.wall_ns,
+            self.wall_s(),
+            self.cells_per_sec(),
+            self.cache_hit_rate(),
         )
     }
 }
@@ -725,6 +775,16 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepSummary, 
     // Fan the pending cells over the pool; the sink-side reorder buffer
     // flushes in pending order so output bytes are schedule-independent.
     let jobs = opts.jobs.max(1);
+    // Telemetry is purely host-side: the rows and their JSONL bytes are
+    // identical with it on or off (the determinism suite pins this).
+    let tel: Option<Arc<SweepTelemetry>> =
+        (opts.telemetry || opts.progress || opts.metrics_out.is_some()).then(|| {
+            Arc::new(SweepTelemetry::new(
+                jobs.clamp(1, pending.len().max(1)),
+                pending.len(),
+            ))
+        });
+    let tel_ref = tel.as_deref();
     let run_cell = |cell: &&SweepCell| -> Result<SweepRow, (String, RunError)> {
         let cell = *cell;
         let bench = bench_of(&cell.bench);
@@ -735,7 +795,14 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepSummary, 
             cache_key(&cell.bench, cell.mode, source, &config)
         });
         if let (Some(cache), Some(key)) = (&cache, &key) {
-            if let Some(hit) = cache.lookup(key) {
+            let hit = cache.lookup(key);
+            let lookup_ns = t0.elapsed().as_nanos() as u64;
+            if let Some(hit) = hit {
+                if let Some(t) = tel_ref {
+                    t.cache_hits.inc();
+                    t.cache_hit_ns.record(lookup_ns);
+                    t.cells_done.inc();
+                }
                 return Ok(SweepRow {
                     cell: cell.clone(),
                     stats: hit.stats,
@@ -744,11 +811,18 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepSummary, 
                     wall_ns: t0.elapsed().as_nanos() as u64,
                 });
             }
+            if let Some(t) = tel_ref {
+                t.cache_misses.inc();
+                t.cache_miss_ns.record(lookup_ns);
+            }
+        } else if let Some(t) = tel_ref {
+            t.cache_misses.inc();
         }
         let out = run_benchmark(bench, cell.mode, config).map_err(|e| (cell.id(), e))?;
         if let (Some(cache), Some(key)) = (&cache, &key) {
             // A failed store must not fail the sweep — the result is in
             // hand; the next run simply recomputes.
+            let t_store = Instant::now();
             let _ = cache.store(
                 key,
                 &cell.id(),
@@ -757,6 +831,12 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepSummary, 
                     peak_registers: out.peak_registers,
                 },
             );
+            if let Some(t) = tel_ref {
+                t.cache_store_ns.record(t_store.elapsed().as_nanos() as u64);
+            }
+        }
+        if let Some(t) = tel_ref {
+            t.cells_done.inc();
         }
         Ok(SweepRow {
             cell: cell.clone(),
@@ -767,6 +847,53 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepSummary, 
         })
     };
 
+    // Monitor thread: redraws the live progress line and/or appends
+    // periodic JSONL telemetry snapshots while the pool runs. Purely an
+    // observer — it only reads the lock-free telemetry handles.
+    let metrics_file: Option<std::fs::File> = match &opts.metrics_out {
+        Some(path) => {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)?;
+                }
+            }
+            Some(std::fs::File::create(path)?)
+        }
+        None => None,
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let monitor: Option<std::thread::JoinHandle<()>> = match (&tel, opts.progress, metrics_file) {
+        (Some(t), progress, file) if progress || file.is_some() => {
+            let t = Arc::clone(t);
+            let stop = Arc::clone(&stop);
+            Some(std::thread::spawn(move || {
+                let mut file = file.map(std::io::BufWriter::new);
+                let mut tick = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(100));
+                    tick += 1;
+                    if progress && tick % 2 == 0 {
+                        eprint!("\r{}", t.progress_line(started.elapsed().as_secs_f64()));
+                    }
+                    if tick % 5 == 0 {
+                        if let Some(w) = &mut file {
+                            let _ = writeln!(w, "{}", t.snapshot().to_jsonl());
+                            let _ = w.flush();
+                        }
+                    }
+                }
+                if progress {
+                    eprintln!("\r{}", t.progress_line(started.elapsed().as_secs_f64()));
+                }
+                if let Some(w) = &mut file {
+                    let _ = writeln!(w, "{}", t.snapshot().to_jsonl());
+                    let _ = w.flush();
+                }
+            }))
+        }
+        _ => None,
+    };
+
     let mut slots: Vec<Option<Result<SweepRow, (String, RunError)>>> =
         std::iter::repeat_with(|| None)
             .take(pending.len())
@@ -775,51 +902,73 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepSummary, 
     let mut flushed: Vec<SweepRow> = Vec::with_capacity(pending.len());
     let mut io_error: Option<std::io::Error> = None;
     let mut first_panic: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
-    run_pool(&pending, jobs, run_cell, |i, outcome| {
-        match outcome {
-            Ok(row) => slots[i] = Some(row),
-            Err(payload) => {
-                let lowest = first_panic.as_ref().map_or(true, |(j, _)| i < *j);
-                if lowest {
-                    first_panic = Some((i, payload));
-                }
-                return;
-            }
-        }
-        // Flush the completed prefix in cell order: JSONL line first
-        // (durable), then the manifest that acknowledges it.
-        while io_error.is_none() {
-            let Some(slot) = slots.get_mut(next_flush).and_then(Option::take) else {
-                break;
-            };
-            match slot {
+    // Completed-but-unflushed rows (an earlier cell still in flight).
+    let mut in_buffer = 0u64;
+    run_pool(
+        &pending,
+        jobs,
+        run_cell,
+        |i, outcome| {
+            match outcome {
                 Ok(row) => {
-                    if let Some(w) = &mut sink {
-                        let write = writeln!(w, "{}", row.to_jsonl()).and_then(|()| w.flush());
-                        if let Err(e) = write {
-                            io_error = Some(e);
-                            break;
-                        }
-                        manifest.done.insert(row.cell.id());
-                        if let Some(mp) = &manifest_path {
-                            if let Err(e) = manifest.write_atomic(mp) {
+                    slots[i] = Some(row);
+                    in_buffer += 1;
+                    if let Some(t) = tel_ref {
+                        t.reorder_depth_peak.set_max(in_buffer);
+                    }
+                }
+                Err(payload) => {
+                    let lowest = first_panic.as_ref().map_or(true, |(j, _)| i < *j);
+                    if lowest {
+                        first_panic = Some((i, payload));
+                    }
+                    return;
+                }
+            }
+            // Flush the completed prefix in cell order: JSONL line first
+            // (durable), then the manifest that acknowledges it.
+            while io_error.is_none() {
+                let Some(slot) = slots.get_mut(next_flush).and_then(Option::take) else {
+                    break;
+                };
+                match slot {
+                    Ok(row) => {
+                        if let Some(w) = &mut sink {
+                            let write = writeln!(w, "{}", row.to_jsonl()).and_then(|()| w.flush());
+                            if let Err(e) = write {
                                 io_error = Some(e);
                                 break;
                             }
+                            manifest.done.insert(row.cell.id());
+                            if let Some(mp) = &manifest_path {
+                                if let Err(e) = manifest.write_atomic(mp) {
+                                    io_error = Some(e);
+                                    break;
+                                }
+                            }
                         }
+                        flushed.push(row);
+                        next_flush += 1;
+                        in_buffer -= 1;
                     }
-                    flushed.push(row);
-                    next_flush += 1;
-                }
-                Err(fail) => {
-                    // Put the failure back; reported after the pool
-                    // drains (lowest index wins deterministically).
-                    slots[next_flush] = Some(Err(fail));
-                    break;
+                    Err(fail) => {
+                        // Put the failure back; reported after the pool
+                        // drains (lowest index wins deterministically).
+                        slots[next_flush] = Some(Err(fail));
+                        break;
+                    }
                 }
             }
-        }
-    });
+            if let Some(t) = tel_ref {
+                t.reorder_depth.set(in_buffer);
+            }
+        },
+        tel.as_ref().map(|t| &t.pool),
+    );
+    stop.store(true, Ordering::Relaxed);
+    if let Some(handle) = monitor {
+        let _ = handle.join();
+    }
     if let Some((_, payload)) = first_panic {
         resume_unwind(payload);
     }
@@ -842,6 +991,7 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepSummary, 
         misses,
         jobs,
         wall_ns: started.elapsed().as_nanos() as u64,
+        telemetry: tel.map(|t| t.snapshot()),
     })
 }
 

@@ -20,15 +20,20 @@
 //! - [`engine`] — [`SweepSpec`]/[`run_sweep`]: grid enumeration, JSONL
 //!   streaming in deterministic cell order, and a manifest making
 //!   sharded runs (`--shard k/n`) resumable after a kill.
+//! - [`telemetry`] — [`SweepTelemetry`]: the lock-free host-side
+//!   metrics registry behind `pcsim sweep --progress`, the periodic
+//!   JSONL snapshot emitter, and the `pcsim metrics` report.
 
 pub mod cache;
 pub mod codec;
 pub mod engine;
 pub mod pool;
+pub mod telemetry;
 
 pub use cache::{cache_key, config_fingerprint, CachedResult, ResultCache, CACHE_SCHEMA_VERSION};
 pub use engine::{
     run_sweep, Manifest, MemKind, Mix, SweepCell, SweepError, SweepOptions, SweepRow, SweepSpec,
     SweepSummary, SWEEP_SCHEMA_VERSION,
 };
-pub use pool::{default_jobs, par_map, try_par_map};
+pub use pool::{default_jobs, par_map, try_par_map, PoolMetrics};
+pub use telemetry::SweepTelemetry;

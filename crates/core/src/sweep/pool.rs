@@ -21,11 +21,39 @@
 //! the need — each lock guards a handful of pointer moves, never a
 //! simulation.)
 
+use pc_metrics::{Gauge, Histogram, Lanes};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Live pool metrics, shared with a [`crate::sweep::SweepTelemetry`]
+/// registry. All handles are lock-free; workers write their own lanes
+/// only, so a monitor thread can read concurrently.
+///
+/// Conservation contract: every executed item is counted in exactly one
+/// of `pops` (taken off the worker's own deque) or `steals` (the first
+/// item of a stolen batch, executed immediately — the rest of the batch
+/// lands in the thief's deque and is counted as pops when taken), so
+/// `pops.total() + steals.total()` equals the number of items executed.
+#[derive(Debug, Clone)]
+pub struct PoolMetrics {
+    /// Items taken from the worker's own deque, per worker.
+    pub pops: Arc<Lanes>,
+    /// Successful steals (one immediately-executed item each), per
+    /// worker.
+    pub steals: Arc<Lanes>,
+    /// Stolen batch sizes, in items.
+    pub steal_block: Arc<Histogram>,
+    /// Host nanoseconds inside the work closure, per worker.
+    pub busy_ns: Arc<Lanes>,
+    /// Host lifetime of each worker thread, recorded once at exit.
+    pub wall_ns: Arc<Lanes>,
+    /// High-water mark over every deque's depth.
+    pub queue_peak: Arc<Gauge>,
+}
 
 /// Number of worker threads to use by default: the host's available
 /// parallelism, or 1 if that cannot be determined.
@@ -89,6 +117,7 @@ pub(crate) fn run_pool<I, O, F>(
     jobs: usize,
     f: F,
     mut sink: impl FnMut(usize, std::thread::Result<O>),
+    metrics: Option<&PoolMetrics>,
 ) where
     I: Sync,
     O: Send,
@@ -96,8 +125,21 @@ pub(crate) fn run_pool<I, O, F>(
 {
     let jobs = jobs.clamp(1, items.len().max(1));
     if jobs <= 1 {
+        let t_start = metrics.map(|_| Instant::now());
         for (i, item) in items.iter().enumerate() {
-            sink(i, Ok(f(item)));
+            if let Some(m) = metrics {
+                m.pops.add(0, 1);
+                let t0 = Instant::now();
+                let out = f(item);
+                m.busy_ns.add(0, t0.elapsed().as_nanos() as u64);
+                sink(i, Ok(out));
+            } else {
+                sink(i, Ok(f(item)));
+            }
+        }
+        if let (Some(m), Some(t)) = (metrics, t_start) {
+            m.queue_peak.set_max(items.len() as u64);
+            m.wall_ns.add(0, t.elapsed().as_nanos() as u64);
         }
         return;
     }
@@ -106,6 +148,9 @@ pub(crate) fn run_pool<I, O, F>(
         .map(|w| {
             let lo = w * items.len() / jobs;
             let hi = (w + 1) * items.len() / jobs;
+            if let Some(m) = metrics {
+                m.queue_peak.set_max((hi - lo) as u64);
+            }
             WorkerDeque::seeded(lo..hi)
         })
         .collect();
@@ -117,38 +162,58 @@ pub(crate) fn run_pool<I, O, F>(
             let deques = &deques;
             let steals = &steals;
             let f = &f;
-            s.spawn(move || loop {
-                let i = match deques[w].pop() {
-                    Some(i) => i,
-                    None => {
-                        // Own deque dry: steal a batch from the first
-                        // victim with work, scanning round-robin from
-                        // our right-hand neighbour. Items are never
-                        // re-enqueued, so an all-empty scan means the
-                        // grid is fully claimed and we can retire.
-                        let mut batch = Vec::new();
-                        for v in 1..jobs {
-                            batch = deques[(w + v) % jobs].steal();
-                            if !batch.is_empty() {
-                                break;
+            s.spawn(move || {
+                let t_spawn = metrics.map(|_| Instant::now());
+                loop {
+                    let (i, was_pop) = match deques[w].pop() {
+                        Some(i) => (i, true),
+                        None => {
+                            // Own deque dry: steal a batch from the first
+                            // victim with work, scanning round-robin from
+                            // our right-hand neighbour. Items are never
+                            // re-enqueued, so an all-empty scan means the
+                            // grid is fully claimed and we can retire.
+                            let mut batch = Vec::new();
+                            for v in 1..jobs {
+                                batch = deques[(w + v) % jobs].steal();
+                                if !batch.is_empty() {
+                                    break;
+                                }
                             }
+                            let Some(&first) = batch.first() else { break };
+                            steals.fetch_add(1, Ordering::Relaxed);
+                            if let Some(m) = metrics {
+                                m.steals.add(w, 1);
+                                m.steal_block.record(batch.len() as u64);
+                                m.queue_peak.set_max(batch.len() as u64 - 1);
+                            }
+                            deques[w].push_stolen(batch[1..].to_vec());
+                            (first, false)
                         }
-                        let Some(&first) = batch.first() else { break };
-                        steals.fetch_add(1, Ordering::Relaxed);
-                        deques[w].push_stolen(batch[1..].to_vec());
-                        first
+                    };
+                    // The first item of a stolen batch was counted as a
+                    // steal above; everything popped is a pop.
+                    if let Some(m) = metrics {
+                        if was_pop {
+                            m.pops.add(w, 1);
+                        }
                     }
-                };
-                let item = &items[i];
-                // A panicking item must not tear down the scope with a
-                // payload-less "scoped thread panicked": the payload is
-                // caught, shipped to the caller's thread, and re-raised
-                // there once every worker has drained its share.
-                if tx
-                    .send((i, catch_unwind(AssertUnwindSafe(|| f(item)))))
-                    .is_err()
-                {
-                    break;
+                    let item = &items[i];
+                    // A panicking item must not tear down the scope with a
+                    // payload-less "scoped thread panicked": the payload is
+                    // caught, shipped to the caller's thread, and re-raised
+                    // there once every worker has drained its share.
+                    let t0 = metrics.map(|_| Instant::now());
+                    let out = catch_unwind(AssertUnwindSafe(|| f(item)));
+                    if let (Some(m), Some(t)) = (metrics, t0) {
+                        m.busy_ns.add(w, t.elapsed().as_nanos() as u64);
+                    }
+                    if tx.send((i, out)).is_err() {
+                        break;
+                    }
+                }
+                if let (Some(m), Some(t)) = (metrics, t_spawn) {
+                    m.wall_ns.add(w, t.elapsed().as_nanos() as u64);
                 }
             });
         }
@@ -182,18 +247,24 @@ where
     }
     let mut slots: Vec<Option<O>> = std::iter::repeat_with(|| None).take(items.len()).collect();
     let mut first_panic: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
-    run_pool(items, jobs, f, |i, out| match out {
-        Ok(v) => slots[i] = Some(v),
-        Err(payload) => {
-            let lowest = match &first_panic {
-                None => true,
-                Some((j, _)) => i < *j,
-            };
-            if lowest {
-                first_panic = Some((i, payload));
+    run_pool(
+        items,
+        jobs,
+        f,
+        |i, out| match out {
+            Ok(v) => slots[i] = Some(v),
+            Err(payload) => {
+                let lowest = match &first_panic {
+                    None => true,
+                    Some((j, _)) => i < *j,
+                };
+                if lowest {
+                    first_panic = Some((i, payload));
+                }
             }
-        }
-    });
+        },
+        None,
+    );
     if let Some((_, payload)) = first_panic {
         resume_unwind(payload);
     }
@@ -322,8 +393,73 @@ mod tests {
                 seen[i] += 1;
                 assert_eq!(out.unwrap(), items[i] * 3);
             },
+            None,
         );
         assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+    }
+
+    fn test_metrics(jobs: usize) -> PoolMetrics {
+        let r = pc_metrics::Registry::new();
+        PoolMetrics {
+            pops: r.lanes("pops", "", jobs),
+            steals: r.lanes("steals", "", jobs),
+            steal_block: r.histogram("steal_block", ""),
+            busy_ns: r.lanes("busy", "", jobs),
+            wall_ns: r.lanes("wall", "", jobs),
+            queue_peak: r.gauge("peak", ""),
+        }
+    }
+
+    #[test]
+    fn metrics_conserve_pops_plus_steals_under_stealing() {
+        // An unbalanced grid forces steals; however the OS schedules the
+        // workers, every item is counted exactly once as a pop or a
+        // steal, and busy time never exceeds the worker's wall time.
+        let items: Vec<u64> = (0..48).collect();
+        let jobs = 4;
+        let m = test_metrics(jobs);
+        let mut delivered = 0usize;
+        run_pool(
+            &items,
+            jobs,
+            |&x| {
+                if x % 12 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                x
+            },
+            |_, out| {
+                out.unwrap();
+                delivered += 1;
+            },
+            Some(&m),
+        );
+        assert_eq!(delivered, items.len());
+        assert_eq!(
+            m.pops.total() + m.steals.total(),
+            items.len() as u64,
+            "pops {:?} steals {:?}",
+            m.pops.per_lane(),
+            m.steals.per_lane(),
+        );
+        // Steal accounting: each steal event records one block whose
+        // size counts the immediately-executed first item.
+        assert_eq!(m.steals.total(), m.steal_block.summary().count);
+        for (b, w) in m.busy_ns.per_lane().iter().zip(m.wall_ns.per_lane()) {
+            assert!(*b <= w, "busy {b} > wall {w}");
+        }
+        assert!(m.queue_peak.get() >= (items.len() / jobs) as u64);
+    }
+
+    #[test]
+    fn metrics_serial_path_counts_everything_as_pops() {
+        let items: Vec<u32> = (0..9).collect();
+        let m = test_metrics(1);
+        run_pool(&items, 1, |&x| x, |_, _| {}, Some(&m));
+        assert_eq!(m.pops.total(), 9);
+        assert_eq!(m.steals.total(), 0);
+        assert_eq!(m.queue_peak.get(), 9);
+        assert!(m.busy_ns.get(0) <= m.wall_ns.get(0));
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! Prometheus text exposition for [`Snapshot`]s.
+//!
+//! The output follows the text-based exposition format (version 0.0.4):
+//! `# HELP` / `# TYPE` headers, one sample per line, histograms as
+//! cumulative `_bucket{le="…"}` series plus `_sum` and `_count`. It is
+//! what a future `pcsim serve` `/metrics` endpoint returns verbatim,
+//! and what `pcsim metrics --prometheus` prints today.
+
+use crate::{Sample, SampleValue, Snapshot};
+use std::fmt::Write as _;
+
+/// Maps an arbitrary metric name to the Prometheus charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`, and
+/// a leading digit gains a `_` prefix.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if ok {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn label_str(label: &Option<(String, String)>) -> String {
+    match label {
+        Some((k, v)) => format!(
+            "{{{}=\"{}\"}}",
+            sanitize_metric_name(k),
+            v.replace('"', "\\\"")
+        ),
+        None => String::new(),
+    }
+}
+
+/// Renders `snapshot` as Prometheus text exposition. `prefix` is
+/// prepended to every metric name (pass `"pcsim_"` for the CLI's
+/// namespace, `""` for none). Samples sharing a name emit one
+/// `# HELP`/`# TYPE` header.
+pub fn render_prometheus(snapshot: &Snapshot, prefix: &str) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for s in &snapshot.samples {
+        let name = format!("{}{}", prefix, sanitize_metric_name(&s.name));
+        if last_name != Some(s.name.as_str()) {
+            let kind = match &s.value {
+                SampleValue::Counter(_) => "counter",
+                SampleValue::Gauge(_) => "gauge",
+                SampleValue::Histogram(_) => "histogram",
+            };
+            let _ = writeln!(out, "# HELP {name} {}", s.help.replace('\n', " "));
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            last_name = Some(s.name.as_str());
+        }
+        render_sample(&mut out, &name, s);
+    }
+    out
+}
+
+fn render_sample(out: &mut String, name: &str, s: &Sample) {
+    match &s.value {
+        SampleValue::Counter(v) | SampleValue::Gauge(v) => {
+            let _ = writeln!(out, "{name}{} {v}", label_str(&s.label));
+        }
+        SampleValue::Histogram(h) => {
+            // Cumulative buckets; labels other than `le` are not used
+            // for histograms in this codebase.
+            let mut cum = 0u64;
+            for &(ub, n) in &h.buckets {
+                cum += n;
+                let _ = writeln!(out, "{name}_bucket{{le=\"{ub}\"}} {cum}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HistSummary, Registry};
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize_metric_name("ok_name:x9"), "ok_name:x9");
+        assert_eq!(sanitize_metric_name("cells/sec"), "cells_sec");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+
+    #[test]
+    fn golden_exposition() {
+        let r = Registry::new();
+        r.counter("cells_total", "Cells completed.").add(20);
+        r.gauge("queue_depth_peak", "Deepest deque.").set_max(7);
+        let h = r.histogram("cache_hit_ns", "Hit latency.");
+        h.record(3);
+        h.record(900);
+        let l = r.lanes("worker_busy_ns", "Busy time.", 2);
+        l.add(0, 10);
+        l.add(1, 30);
+        let text = render_prometheus(&r.snapshot(), "pcsim_");
+        let want = "\
+# HELP pcsim_cache_hit_ns Hit latency.
+# TYPE pcsim_cache_hit_ns histogram
+pcsim_cache_hit_ns_bucket{le=\"3\"} 1
+pcsim_cache_hit_ns_bucket{le=\"1023\"} 2
+pcsim_cache_hit_ns_bucket{le=\"+Inf\"} 2
+pcsim_cache_hit_ns_sum 903
+pcsim_cache_hit_ns_count 2
+# HELP pcsim_cells_total Cells completed.
+# TYPE pcsim_cells_total counter
+pcsim_cells_total 20
+# HELP pcsim_queue_depth_peak Deepest deque.
+# TYPE pcsim_queue_depth_peak gauge
+pcsim_queue_depth_peak 7
+# HELP pcsim_worker_busy_ns Busy time.
+# TYPE pcsim_worker_busy_ns counter
+pcsim_worker_busy_ns{worker=\"0\"} 10
+pcsim_worker_busy_ns{worker=\"1\"} 30
+";
+        assert_eq!(text, want);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = HistSummary {
+            count: 3,
+            sum: 10,
+            buckets: vec![(1, 1), (4, 2)],
+        };
+        let snap = Snapshot::from_samples(vec![Sample {
+            name: "h".into(),
+            help: "h".into(),
+            label: None,
+            value: SampleValue::Histogram(h),
+        }]);
+        let text = render_prometheus(&snap, "");
+        assert!(text.contains("h_bucket{le=\"1\"} 1\n"), "{text}");
+        assert!(text.contains("h_bucket{le=\"4\"} 3\n"), "{text}");
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 3\n"), "{text}");
+    }
+}

@@ -237,6 +237,9 @@ pub struct DecodedProgram {
     /// [`validate_program`] forbids two slots of a row on one unit.
     pub(crate) unit_slots: Vec<u16>,
     pub(crate) n_units: usize,
+    /// Host nanoseconds spent in [`DecodedProgram::decode`] (exact,
+    /// measured once per decode; see [`crate::HostProfile::decode_ns`]).
+    pub(crate) decode_ns: u64,
 }
 
 /// Unpacks a mask list's words 0 and 1 into a fixed pair (words ≥ 2
@@ -272,6 +275,7 @@ impl DecodedProgram {
     /// Returns [`SimError::Isa`] when the program fails
     /// [`validate_program`].
     pub fn decode(config: MachineConfig, program: Arc<Program>) -> Result<Self, SimError> {
+        let t0 = std::time::Instant::now();
         validate_program(&program, &config)?;
         let n_units = config.units().len();
         let n_clusters = config.clusters().len();
@@ -446,7 +450,14 @@ impl DecodedProgram {
             ops,
             unit_slots,
             n_units,
+            decode_ns: t0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
         })
+    }
+
+    /// Host nanoseconds the decode itself took (exact; measured once,
+    /// however many machines share this program).
+    pub fn decode_ns(&self) -> u64 {
+        self.decode_ns
     }
 
     /// The configuration the program was decoded against.

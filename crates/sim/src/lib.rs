@@ -57,6 +57,7 @@ mod machine;
 pub mod probe;
 mod regfile;
 mod stats;
+pub mod telemetry;
 mod thread;
 pub mod trace;
 
@@ -68,5 +69,6 @@ pub use probe::{
 };
 pub use regfile::RegFileSet;
 pub use stats::{ProbeRecord, RunStats, StallTable, ThreadStalls};
+pub use telemetry::{HostPhase, HostProfile};
 pub use thread::{ThreadId, ThreadState};
 pub use trace::TraceEvent;

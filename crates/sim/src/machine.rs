@@ -9,6 +9,10 @@ use crate::inline_vec::InlineVec;
 use crate::probe::{Probe, ProbeEvent, StallCause};
 use crate::regfile::RegFileSet;
 use crate::stats::{ProbeRecord, RunStats, StallTable};
+use crate::telemetry::{
+    HostProfile, HostTelemetry, PH_ADVANCE, PH_ISSUE, PH_MEM, PH_PIPE, PH_SKIP, PH_WAKE,
+    PH_WRITEBACK,
+};
 use crate::thread::{Thread, ThreadId, ThreadState};
 use pc_isa::{
     op, ArbitrationPolicy, BranchOp, FuId, MachineConfig, MemOp, OpKind, Operation, Program, RegId,
@@ -355,6 +359,11 @@ pub struct Machine {
     probes: Vec<ProbeRecord>,
     ops_by_unit: Vec<u64>,
     obs: Obs,
+    /// Host-side phase timers / event counters
+    /// ([`Machine::enable_host_telemetry`]); `None` costs one predicted
+    /// branch per phase. Never touches simulated state, so telemetry-on
+    /// runs are bit-identical to telemetry-off runs.
+    host: Option<Box<HostTelemetry>>,
 }
 
 impl Machine {
@@ -429,6 +438,7 @@ impl Machine {
             probes: Vec::new(),
             ops_by_unit: vec![0; n_units],
             obs: Obs::new(n_units),
+            host: None,
         };
         let entry = m.program.entry;
         m.spawn(entry, &[], &[])?;
@@ -521,18 +531,23 @@ impl Machine {
         self.engine
     }
 
-    /// Selects the scan-every-cycle reference issue engine (`true`) or
-    /// restores the default decoded engine (`false`).
-    #[deprecated(
-        since = "0.8.0",
-        note = "three engines exist now; use `set_engine(EngineKind)`"
-    )]
-    pub fn use_reference_engine(&mut self, on: bool) {
-        self.set_engine(if on {
-            EngineKind::Scan
-        } else {
-            EngineKind::Decoded
-        });
+    /// Turns on host-side telemetry: sampled per-phase wall timers and
+    /// exact event counters for the wake-repair machinery, readable via
+    /// [`Machine::host_profile`] after (or during) a run. Purely
+    /// host-side — the simulated schedule, stats, and stall tables are
+    /// bit-identical with telemetry on or off.
+    pub fn enable_host_telemetry(&mut self) {
+        if self.host.is_none() {
+            self.host = Some(Box::default());
+        }
+    }
+
+    /// Snapshot of the host-side profile, or `None` unless
+    /// [`Machine::enable_host_telemetry`] was called. `decode_ns` in the
+    /// profile is the program's one-time decode cost, charged even when
+    /// the decode predates this machine (shared [`DecodedProgram`]s).
+    pub fn host_profile(&self) -> Option<HostProfile> {
+        self.host.as_ref().map(|h| h.profile(self.code.decode_ns()))
     }
 
     /// Starts recording one [`crate::trace::TraceEvent`] per issued
@@ -609,7 +624,17 @@ impl Machine {
                 return Err(SimError::CycleLimit { limit });
             }
             if !self.step()? {
+                let t0 = self.host.as_mut().and_then(|h| h.timers.start(PH_SKIP));
+                let before = self.cycle;
                 self.skip_idle_span(limit);
+                let skipped = self.cycle - before;
+                if let Some(h) = self.host.as_mut() {
+                    h.timers.stop(PH_SKIP, t0);
+                    if skipped != 0 {
+                        h.idle_spans_skipped += 1;
+                        h.idle_cycles_skipped += skipped;
+                    }
+                }
             }
         }
         if let Some(sink) = &mut self.obs.sink {
@@ -722,10 +747,14 @@ impl Machine {
     fn step(&mut self) -> Result<bool, SimError> {
         let now = self.cycle;
         let mut progress = false;
+        if let Some(h) = self.host.as_mut() {
+            h.steps += 1;
+        }
 
         // ---- Phase A1: function-unit pipeline completions ----------------
         // One compare skips the whole phase on cycles with nothing due.
         if self.next_pipe_due <= now {
+            let t0 = self.host.as_mut().and_then(|h| h.timers.start(PH_PIPE));
             for fu_idx in 0..self.pipes.len() {
                 if self.pipe_next[fu_idx] > now {
                     continue;
@@ -748,12 +777,16 @@ impl Machine {
             // Exact once the drain settles; this cycle's issue phase
             // min-updates it again at each pipeline push.
             self.next_pipe_due = self.pipe_next.iter().copied().min().unwrap_or(u64::MAX);
+            if let Some(h) = self.host.as_mut() {
+                h.timers.stop(PH_PIPE, t0);
+            }
         }
 
         // ---- Phase A2: memory-system completions --------------------------
         // One compare skips the phase on cycles with nothing due (parked
         // references only complete through a due reference's attempt).
         if self.mem.has_due(now) {
+            let t0 = self.host.as_mut().and_then(|h| h.timers.start(PH_MEM));
             let mut completions = mem::take(&mut self.scratch.mem);
             self.mem.tick_into(now, &mut completions)?;
             for c in completions.drain(..) {
@@ -773,16 +806,30 @@ impl Machine {
                 }
             }
             self.scratch.mem = completions;
+            if let Some(h) = self.host.as_mut() {
+                h.timers.stop(PH_MEM, t0);
+            }
         }
         if self.obs.on {
             self.drain_mem_events(now);
         }
 
         // ---- Phase A3: writeback port/bus arbitration ---------------------
+        let t0 = self
+            .host
+            .as_mut()
+            .and_then(|h| h.timers.start(PH_WRITEBACK));
         progress |= self.retire_writebacks();
+        if let Some(h) = self.host.as_mut() {
+            h.timers.stop(PH_WRITEBACK, t0);
+        }
 
         // ---- Phase B: issue ----------------------------------------------
+        let t0 = self.host.as_mut().and_then(|h| h.timers.start(PH_ISSUE));
         let issued_any = self.issue_all(now)?;
+        if let Some(h) = self.host.as_mut() {
+            h.timers.stop(PH_ISSUE, t0);
+        }
         progress |= issued_any;
         if issued_any {
             self.busy_cycles += 1;
@@ -796,7 +843,11 @@ impl Machine {
         }
 
         // ---- Phase C: row advance / control transfer ----------------------
+        let t0 = self.host.as_mut().and_then(|h| h.timers.start(PH_ADVANCE));
         progress |= self.advance_threads(now)?;
+        if let Some(h) = self.host.as_mut() {
+            h.timers.stop(PH_ADVANCE, t0);
+        }
 
         self.cycle = now + 1;
 
@@ -1530,6 +1581,10 @@ impl Machine {
     /// with memory-ordering rules fall back to the full
     /// [`Machine::readiness`] grading.
     fn refresh_ready(&mut self, ti: usize) {
+        let t0 = self.host.as_mut().and_then(|h| {
+            h.bitmask_rebuilds += 1;
+            h.timers.start(PH_WAKE)
+        });
         let t = &self.threads[ti];
         let mut mask = 0u64;
         if t.state == ThreadState::Running {
@@ -1567,6 +1622,9 @@ impl Machine {
         let t = &mut self.threads[ti];
         t.ready_units = mask;
         t.ready_dirty = false;
+        if let Some(h) = self.host.as_mut() {
+            h.timers.stop(PH_WAKE, t0);
+        }
     }
 
     /// Invalidates a clean readiness cache after the register at flat
@@ -1579,6 +1637,9 @@ impl Machine {
     /// row walk per destination. (The scan and lockstep engines never
     /// clean their caches, so they are unaffected.)
     fn update_ready_after_write(&mut self, ti: usize, bit: u32) {
+        if let Some(h) = self.host.as_mut() {
+            h.wake_repairs += 1;
+        }
         let t = &self.threads[ti];
         if t.ready_dirty || t.state != ThreadState::Running {
             return;
@@ -1604,6 +1665,9 @@ impl Machine {
     /// from unready to ready (draining relaxes every [`OrderRule`]), so
     /// set bits are kept and only absent ordered bits are re-graded.
     fn update_ready_after_mem_drain(&mut self, ti: usize) {
+        if let Some(h) = self.host.as_mut() {
+            h.mem_drain_regrades += 1;
+        }
         let t = &self.threads[ti];
         if t.ready_dirty || t.state != ThreadState::Running {
             return;
@@ -2971,15 +3035,48 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_reference_engine_shim_maps_to_scan() {
+    fn set_engine_round_trips_every_kind() {
         let mut m = Machine::new(MachineConfig::baseline(), contention_program()).unwrap();
         assert_eq!(m.engine(), EngineKind::Decoded);
-        #[allow(deprecated)]
-        m.use_reference_engine(true);
-        assert_eq!(m.engine(), EngineKind::Scan);
-        #[allow(deprecated)]
-        m.use_reference_engine(false);
-        assert_eq!(m.engine(), EngineKind::Decoded);
+        for kind in [EngineKind::Scan, EngineKind::Event, EngineKind::Decoded] {
+            m.set_engine(kind);
+            assert_eq!(m.engine(), kind);
+        }
+    }
+
+    #[test]
+    fn host_telemetry_never_perturbs_the_run() {
+        for kind in [EngineKind::Decoded, EngineKind::Event, EngineKind::Scan] {
+            let mut plain = Machine::new(MachineConfig::baseline(), contention_program()).unwrap();
+            plain.set_engine(kind);
+            let want = plain.run(100_000).unwrap();
+
+            let mut timed = Machine::new(MachineConfig::baseline(), contention_program()).unwrap();
+            timed.set_engine(kind);
+            assert!(timed.host_profile().is_none());
+            timed.enable_host_telemetry();
+            let got = timed.run(100_000).unwrap();
+            assert_eq!(want, got, "{} engine diverges under telemetry", kind.name());
+
+            let p = timed.host_profile().expect("telemetry enabled");
+            assert!(p.steps > 0);
+            // step() times the issue phase on every stepped cycle.
+            assert_eq!(p.phases[PH_ISSUE].calls, p.steps);
+            assert!(p.phases[PH_ISSUE].sampled_calls > 0);
+        }
+    }
+
+    #[test]
+    fn host_profile_counts_wake_repairs_on_cached_engines() {
+        let mut m = Machine::new(MachineConfig::baseline(), contention_program()).unwrap();
+        m.enable_host_telemetry();
+        m.run(100_000).unwrap();
+        let p = m.host_profile().unwrap();
+        // The contention program writes registers and rebuilds readiness
+        // masks; the decoded engine must report both.
+        assert!(p.bitmask_rebuilds > 0, "{p:?}");
+        assert!(p.wake_repairs > 0, "{p:?}");
+        assert_eq!(p.phases[PH_WAKE].calls, p.bitmask_rebuilds);
     }
 
     #[test]
